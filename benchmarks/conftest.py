@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Each benchmark runs one paper figure's experiment at a reduced (but
+representative) scale, prints the same rows/series the paper reports, and
+registers the wall-clock cost with pytest-benchmark (single round — these
+are measurements of simulated systems, not micro-benchmarks).
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Execute ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def report():
+    """Print a titled ASCII table after the benchmark body."""
+    from repro.experiments.common import format_table
+
+    def _report(title, headers, rows):
+        print()
+        print(f"=== {title} ===")
+        print(format_table(headers, [[str(c) for c in row] for row in rows]))
+
+    return _report

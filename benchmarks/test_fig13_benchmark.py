@@ -1,0 +1,67 @@
+"""Figure 13 — flow completion times under the benchmark workload (testbed).
+
+Paper: query-flow mean and tail FCT are far lower under TFC than DCTCP
+and TCP (whose 99.99th percentile includes retransmission timeouts);
+background mice finish faster under TFC, while the largest flows pay a
+small price because query flows keep their bandwidth.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig13
+from repro.metrics.fct import SIZE_BUCKETS
+
+
+def test_fig13_benchmark_fct(benchmark, report):
+    results = run_once(
+        benchmark,
+        run_fig13,
+        duration_s=1.5,
+        drain_s=1.5,
+        query_rate_per_s=400,
+        query_fanin=8,
+        short_rate_per_s=30,
+        background_rate_per_s=30,
+    )
+
+    rows = []
+    for proto, result in results.items():
+        q = result.query_summary_us()
+        rows.append(
+            [
+                proto.upper(),
+                f"{q['mean']:.0f}",
+                f"{q['p95']:.0f}",
+                f"{q['p99']:.0f}",
+                f"{q['p99.9']:.0f}",
+                f"{q['p99.99']:.0f}",
+            ]
+        )
+    report(
+        "Fig. 13a: query flow FCT (us)",
+        ["protocol", "mean", "95th", "99th", "99.9th", "99.99th"],
+        rows,
+    )
+
+    bucket_rows = []
+    names = [name for name, _, _ in SIZE_BUCKETS]
+    for proto, result in results.items():
+        buckets = result.background_p999_us()
+        bucket_rows.append(
+            [proto.upper()] + [f"{buckets.get(name, float('nan')):.0f}" for name in names]
+        )
+    report(
+        "Fig. 13b: background flow 99.9th FCT (us) by size",
+        ["protocol"] + names,
+        bucket_rows,
+    )
+
+    tfc_q = results["tfc"].query_summary_us()
+    tcp_q = results["tcp"].query_summary_us()
+    dctcp_q = results["dctcp"].query_summary_us()
+    # The paper's ordering: TFC's query tail is far below the baselines'.
+    assert tfc_q["p99.9"] < dctcp_q["p99.9"]
+    assert tfc_q["p99.9"] < tcp_q["p99.9"]
+    assert tfc_q["p99.99"] < tcp_q["p99.99"] / 2
+    assert results["tfc"].drops == 0
+    assert results["tfc"].completion_fraction() == 1.0

@@ -1,0 +1,171 @@
+#!/usr/bin/env python3
+"""Regenerate any paper figure from the command line.
+
+A thin CLI over :mod:`repro.experiments` — the same drivers the benchmark
+suite uses, with the knobs exposed:
+
+    python examples/run_figure.py fig06
+    python examples/run_figure.py fig12 --senders 5 20 60 --rounds 3
+    python examples/run_figure.py fig14 --duration 1.0
+    python examples/run_figure.py fig16 --fanin 300
+
+Run with ``--help`` (or no arguments) for the figure list.
+"""
+
+import argparse
+import sys
+
+from repro.analysis import ascii_table
+from repro.experiments import (
+    run_benchmark,
+    run_fig06,
+    run_fig07,
+    run_fig11,
+    run_fig12,
+    run_fig14,
+    run_fig15,
+    run_staggered_flows,
+)
+
+
+def cmd_fig06(args):
+    result = run_fig06(duration_s=args.duration)
+    print(f"measured rtt_b mean: {result.rttb_mean_us:.1f} us")
+    print(f"referenced RTT mean: {result.reference_mean_us:.1f} us")
+    print(f"gap: {result.gap_us:.1f} us")
+
+
+def cmd_fig07(args):
+    result = run_fig07()
+    rows = [
+        [f"{t:.3f}", f"{m:.1f}", f"{e:.1f}"]
+        for t, m, e in result.samples[:: max(len(result.samples) // 25, 1)]
+    ]
+    print(ascii_table(["time (s)", "measured E", "expected E"], rows))
+    print(f"mean |error|: {result.mean_error():.2f}")
+
+
+def cmd_figs8_10(args):
+    rows = []
+    for proto in ("tfc", "dctcp", "tcp"):
+        r = run_staggered_flows(proto, interval_s=0.2, tail_s=0.4, goodput_sample_ms=2.0)
+        conv = r.convergence_ns(2, 1e9)
+        rows.append(
+            [
+                proto.upper(),
+                f"{r.queue_mean_bytes(int(0.2e9)) / 1000:.1f}",
+                f"{r.queue_max_bytes() / 1000:.1f}",
+                f"{r.aggregate_goodput_bps() / 1e6:.0f}",
+                f"{r.steady_state_fairness():.4f}",
+                "-" if conv is None else f"{conv / 1e6:.1f}",
+            ]
+        )
+    print(
+        ascii_table(
+            ["protocol", "q mean KB", "q max KB", "goodput Mbps", "fairness", "conv ms"],
+            rows,
+        )
+    )
+
+
+def cmd_fig11(args):
+    r = run_fig11(duration_s=args.duration)
+    print(f"S1 uplink:  {r.s1_goodput_bps() / 1e6:.0f} Mbps")
+    print(f"S2->host3:  {r.s2_goodput_bps() / 1e6:.0f} Mbps")
+    print(f"S2 queue:   {r.s2_queue_mean_bytes():.0f} B mean")
+    print(f"drops:      {r.drops}")
+
+
+def cmd_fig12(args):
+    results = run_fig12(sender_counts=tuple(args.senders), rounds=args.rounds)
+    rows = []
+    for i, n in enumerate(args.senders):
+        row = [n]
+        for proto in ("tfc", "dctcp", "tcp"):
+            p = results[proto][i]
+            row += [f"{p.goodput_bps / 1e6:.0f}", f"{p.max_timeouts_per_block:.2f}"]
+        rows.append(row)
+    print(
+        ascii_table(
+            ["senders", "TFC Mbps", "TFC TO", "DCTCP Mbps", "DCTCP TO", "TCP Mbps", "TCP TO"],
+            rows,
+        )
+    )
+
+
+def cmd_fig13(args):
+    _benchmark_table(scale="testbed", args=args)
+
+
+def cmd_fig14(args):
+    points = run_fig14(duration_s=args.duration)
+    print(
+        ascii_table(
+            ["rho0", "goodput Mbps", "queue mean B"],
+            [
+                [f"{p.rho0:.2f}", f"{p.goodput_bps / 1e6:.0f}", f"{p.queue_mean_bytes:.0f}"]
+                for p in points
+            ],
+        )
+    )
+
+
+def cmd_fig15(args):
+    results = run_fig15(sender_counts=tuple(args.senders), rounds=args.rounds)
+    for proto, by_block in results.items():
+        for block, points in by_block.items():
+            for p in points:
+                print(
+                    f"{proto} block={block // 1000}KB senders={p.n_senders}: "
+                    f"{p.goodput_bps / 1e9:.2f} Gbps, "
+                    f"{p.max_timeouts_per_block:.2f} TO/blk"
+                )
+
+
+def cmd_fig16(args):
+    _benchmark_table(scale="large", args=args)
+
+
+def _benchmark_table(scale, args):
+    rows = []
+    for proto in ("tfc", "dctcp", "tcp"):
+        r = run_benchmark(
+            proto, scale=scale, duration_s=args.duration, drain_s=1.5,
+            query_fanin=args.fanin,
+        )
+        q = r.query_summary_us()
+        rows.append(
+            [proto.upper(), f"{q['mean']:.0f}", f"{q['p99']:.0f}", f"{q['p99.9']:.0f}"]
+        )
+    print(ascii_table(["protocol", "query mean us", "p99 us", "p99.9 us"], rows))
+
+
+FIGURES = {
+    "fig06": cmd_fig06,
+    "fig07": cmd_fig07,
+    "fig08": cmd_figs8_10,
+    "fig09": cmd_figs8_10,
+    "fig10": cmd_figs8_10,
+    "fig11": cmd_fig11,
+    "fig12": cmd_fig12,
+    "fig13": cmd_fig13,
+    "fig14": cmd_fig14,
+    "fig15": cmd_fig15,
+    "fig16": cmd_fig16,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("figure", choices=sorted(FIGURES), help="paper figure to regenerate")
+    parser.add_argument("--duration", type=float, default=0.8, help="seconds of simulated time")
+    parser.add_argument("--rounds", type=int, default=3, help="incast rounds per point")
+    parser.add_argument("--senders", type=int, nargs="+", default=[10, 40, 100], help="incast fan-in sweep")
+    parser.add_argument("--fanin", type=int, default=None, help="query fan-in (benchmark figures)")
+    args = parser.parse_args(argv)
+    FIGURES[args.figure](args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

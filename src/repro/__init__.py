@@ -1,0 +1,25 @@
+"""repro — a reproduction of "TFC: Token Flow Control in Data Center
+Networks" (EuroSys 2016).
+
+The package bundles a packet-level discrete-event network simulator
+(:mod:`repro.sim`, :mod:`repro.net`), the TCP NewReno and DCTCP baselines
+(:mod:`repro.transport`), the TFC protocol itself (:mod:`repro.core`),
+workload generators (:mod:`repro.workloads`), measurement utilities
+(:mod:`repro.metrics`) and one driver per paper figure
+(:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.net import dumbbell
+    from repro.transport import configure_network, open_flow
+    from repro.sim.units import seconds
+
+    topo = dumbbell(n_senders=4)
+    configure_network(topo.network, "tfc")
+    flows = [open_flow(h, topo.hosts[-1], "tfc") for h in topo.hosts[:4]]
+    topo.network.run_for(seconds(1))
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

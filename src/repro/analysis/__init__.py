@@ -1,0 +1,31 @@
+"""Reporting: tables and paper-vs-measured comparison records."""
+
+from .compare import (
+    Comparison,
+    ComparisonReport,
+    at_least_factor,
+    flat_within,
+    ordering_holds,
+    within_factor,
+)
+from .tables import (
+    ascii_table,
+    format_bytes,
+    format_duration_us,
+    format_rate,
+    markdown_table,
+)
+
+__all__ = [
+    "Comparison",
+    "ComparisonReport",
+    "at_least_factor",
+    "flat_within",
+    "ordering_holds",
+    "within_factor",
+    "ascii_table",
+    "format_bytes",
+    "format_duration_us",
+    "format_rate",
+    "markdown_table",
+]

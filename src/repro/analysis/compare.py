@@ -1,0 +1,82 @@
+"""Paper-vs-measured comparison records.
+
+EXPERIMENTS.md tracks, per figure, what the paper reported and what this
+reproduction measures, together with whether the *qualitative shape*
+holds.  :class:`Comparison` is that record; :func:`shape_holds` implements
+the standard checks used across figures (ordering, factor, flatness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class Comparison:
+    """One paper-vs-measured line item."""
+
+    figure: str
+    metric: str
+    paper: str
+    measured: str
+    holds: bool
+    note: str = ""
+
+    def as_row(self) -> List[str]:
+        status = "yes" if self.holds else "NO"
+        return [self.figure, self.metric, self.paper, self.measured, status, self.note]
+
+
+@dataclass
+class ComparisonReport:
+    """Collects comparisons and renders the EXPERIMENTS.md table body."""
+
+    items: List[Comparison] = field(default_factory=list)
+
+    def add(self, figure, metric, paper, measured, holds, note=""):
+        """Record one line item and return it."""
+        item = Comparison(figure, metric, str(paper), str(measured), bool(holds), note)
+        self.items.append(item)
+        return item
+
+    @property
+    def all_hold(self) -> bool:
+        return all(item.holds for item in self.items)
+
+    def failures(self) -> List[Comparison]:
+        return [item for item in self.items if not item.holds]
+
+    def rows(self) -> List[List[str]]:
+        return [item.as_row() for item in self.items]
+
+
+def ordering_holds(values: Dict[str, float], expected_order: Sequence[str]) -> bool:
+    """True when values[k] is non-decreasing along ``expected_order``."""
+    ordered = [values[name] for name in expected_order]
+    return all(a <= b for a, b in zip(ordered, ordered[1:]))
+
+
+def within_factor(measured: float, reference: float, factor: float) -> bool:
+    """True when measured is within ``factor``x of the reference."""
+    if reference == 0:
+        return measured == 0
+    ratio = measured / reference
+    return 1.0 / factor <= ratio <= factor
+
+
+def at_least_factor(larger: float, smaller: float, factor: float) -> bool:
+    """True when ``larger`` exceeds ``smaller`` by at least ``factor``x."""
+    if smaller <= 0:
+        return larger > 0
+    return larger / smaller >= factor
+
+
+def flat_within(values: Sequence[float], tolerance: float) -> bool:
+    """True when a series varies by at most ``tolerance`` (fractional)."""
+    if not values:
+        return True
+    lo, hi = min(values), max(values)
+    if hi == 0:
+        return True
+    return (hi - lo) / hi <= tolerance

@@ -1,0 +1,66 @@
+"""Table rendering for experiment reports.
+
+Benchmarks print fixed-width ASCII tables; EXPERIMENTS.md wants the same
+rows as Markdown.  Both renderers take the same (headers, rows) input so
+a result can be shown either way.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width right-aligned table (the benchmark report format)."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(row[i]) for row in cells))
+        if cells
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+
+    def render(row):
+        return "  ".join(str(c).rjust(w) for c, w in zip(row, widths))
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in cells)
+    return "\n".join(lines)
+
+
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """GitHub-flavoured Markdown table (the EXPERIMENTS.md format)."""
+    lines = [
+        "| " + " | ".join(str(h) for h in headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(str(c) for c in row) + " |")
+    return "\n".join(lines)
+
+
+def format_rate(bps: float) -> str:
+    """Human-readable rate."""
+    if bps >= 1e9:
+        return f"{bps / 1e9:.2f} Gbps"
+    if bps >= 1e6:
+        return f"{bps / 1e6:.0f} Mbps"
+    return f"{bps / 1e3:.0f} kbps"
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count."""
+    if count >= 1e6:
+        return f"{count / 1e6:.1f} MB"
+    if count >= 1e3:
+        return f"{count / 1e3:.1f} KB"
+    return f"{count:.0f} B"
+
+
+def format_duration_us(us: float) -> str:
+    """Human-readable duration given microseconds."""
+    if us >= 1e6:
+        return f"{us / 1e6:.2f} s"
+    if us >= 1e3:
+        return f"{us / 1e3:.2f} ms"
+    return f"{us:.0f} us"

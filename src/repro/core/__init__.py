@@ -1,0 +1,16 @@
+"""TFC: the paper's contribution — endpoints, switch agents, parameters."""
+
+from .delay import DelayArbiter
+from .params import DEFAULT_PARAMS, TfcParams
+from .sender import TfcReceiver, TfcSender
+from .switch_agent import TfcPortAgent, enable_tfc
+
+__all__ = [
+    "DelayArbiter",
+    "DEFAULT_PARAMS",
+    "TfcParams",
+    "TfcReceiver",
+    "TfcSender",
+    "TfcPortAgent",
+    "enable_tfc",
+]

@@ -1,0 +1,115 @@
+"""TFC configuration.
+
+Defaults follow the paper's evaluation section: expected utilisation
+``rho0 = 0.97``, token EWMA weight ``alpha = 7/8``, initial queue-free RTT
+estimate 160 us, only RM frames of at least 1500 bytes feed the rtt_b
+estimator, and the delimiter re-election backoff doubles up to ``2^7``.
+
+The paper leaves three practical bounds unspecified; they are explicit
+parameters here (and exercised by the ablation benchmarks):
+
+* ``rho_floor`` — lower clamp on the measured utilisation before it divides
+  into the token adjustment, bounding how far an idle slot can inflate T.
+* ``max_token_bdp_factor`` — upper clamp on T as a multiple of the current
+  bandwidth-delay product, bounding the burst a newly joining flow can get.
+* ``delay_queue_limit`` — capacity of the sub-MSS ACK delay queue.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.units import microseconds
+
+
+@dataclass(frozen=True)
+class TfcParams:
+    """Tunable constants of the TFC switch and endpoint logic."""
+
+    rho0: float = 0.97
+    """Expected link utilisation (paper section 6.1.1)."""
+
+    alpha: float = 7.0 / 8.0
+    """Weight of the historical token value in the EWMA (Eq. 8)."""
+
+    init_rttb_ns: int = microseconds(160)
+    """Initial queue-free RTT estimate (paper: 'Set rtt_b = 160 us')."""
+
+    min_rtt_frame_bytes: int = 1500
+    """Only RM frames at least this long update rtt_b (store-and-forward
+    bias; paper section 4.4)."""
+
+    max_delimiter_miss: int = 7
+    """Maximum exponent k of the 2^k x rtt_last re-election backoff."""
+
+    rho_floor: float = 0.25
+    """Lower clamp on measured utilisation in the token adjustment (bounds
+    the single-slot boost after idle or barely-used slots)."""
+
+    token_adjustment: str = "iterative"
+    """How Eq. 7 is applied.  ``"iterative"`` compounds the correction on
+    the previous token value (``T <- T x rho0/rho``), whose fixed point is
+    exactly ``rho = rho0`` even under sender window quantisation.
+    ``"eq7"`` is the paper's literal form (``T = c x rtt_b x rho0/rho``),
+    which converges to ``sqrt(rho0 x losses)`` instead — the ablation
+    benchmark quantifies the gap (DESIGN.md section 5)."""
+
+    min_token_bdp_factor: float = 0.25
+    """Lower clamp on T as a multiple of c x rtt_b."""
+
+    token_boost_limit: float = 1.25
+    """Maximum multiplicative growth of the raw token value in one slot.
+    Unbounded ratio boosts compound explosively through the near-idle
+    slots of a flash crowd's acquisition phase (rho sits at rho_floor for
+    a few slots while every flow waits for its first grant)."""
+
+    queue_drain: bool = True
+    """Subtract the port's standing queue from the raw token value each
+    slot (the XCP/RCP spare-capacity term).  At TFC's intended zero-queue
+    operating point this is a no-op; when a burst has built a backlog it
+    deflates T immediately instead of waiting ~1/(1-alpha) slots of
+    rho > rho0 feedback, during which a full buffer keeps dropping."""
+
+    max_token_bdp_factor: float = 6.0
+    """Upper clamp on T as a multiple of c x rtt_b.  Must leave room for
+    the work-conserving compensation: rtt_b is the *minimum* RTT over all
+    flows (up to ~3x below the mean in a 3-tier DCN) and window
+    quantisation wastes up to one MSS per flow, both of which Eq. 7 must
+    be able to compensate multiplicatively."""
+
+    rttb_refresh_slots: int = 1024
+    """Every this many slots the rtt_b running minimum restarts from the
+    current measurement.  The paper keeps a global minimum; a pure global
+    minimum lets one anomalously fast sample (or a long-gone short-RTT
+    delimiter) depress the token base forever."""
+
+    delay_queue_limit: int = 65536
+    """Maximum number of sub-MSS RMA ACKs parked per port."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.rho0 <= 1.0:
+            raise ValueError(f"rho0 must be in (0, 1], got {self.rho0}")
+        if not 0.0 <= self.alpha < 1.0:
+            raise ValueError(f"alpha must be in [0, 1), got {self.alpha}")
+        if self.init_rttb_ns <= 0:
+            raise ValueError("init_rttb_ns must be positive")
+        if not 0.0 < self.rho_floor < 1.0:
+            raise ValueError(f"rho_floor must be in (0, 1), got {self.rho_floor}")
+        if self.token_adjustment not in ("iterative", "eq7"):
+            raise ValueError(
+                "token_adjustment must be 'iterative' or 'eq7', "
+                f"got {self.token_adjustment!r}"
+            )
+        if not 0.0 < self.min_token_bdp_factor <= 1.0:
+            raise ValueError("min_token_bdp_factor must be in (0, 1]")
+        if self.rttb_refresh_slots < 1:
+            raise ValueError("rttb_refresh_slots must be >= 1")
+        if self.token_boost_limit < 1.0:
+            raise ValueError("token_boost_limit must be >= 1")
+        if self.max_token_bdp_factor < 1.0:
+            raise ValueError("max_token_bdp_factor must be >= 1")
+        if self.delay_queue_limit < 1:
+            raise ValueError("delay_queue_limit must be >= 1")
+
+
+DEFAULT_PARAMS = TfcParams()

@@ -1,0 +1,36 @@
+"""Experiment drivers — one module per paper figure (see DESIGN.md §4)."""
+
+from .common import ALL_PROTOCOLS, PROTOCOL_LABELS, build_topology, format_table
+from .fig06_rttb import RttbResult, run_fig06
+from .fig07_ne import NeResult, run_fig07
+from .fig08_queue import StaggeredFlowsResult, run_staggered_flows
+from .fig11_work_conserving import WorkConservingResult, run_fig11
+from .fig12_incast import IncastPoint, run_fig12, run_fig15, run_incast_point
+from .fig13_benchmark import BenchmarkResult, run_benchmark, run_fig13, run_fig16
+from .fig14_rho import RhoPoint, run_fig14, run_rho_point
+
+__all__ = [
+    "ALL_PROTOCOLS",
+    "PROTOCOL_LABELS",
+    "build_topology",
+    "format_table",
+    "RttbResult",
+    "run_fig06",
+    "NeResult",
+    "run_fig07",
+    "StaggeredFlowsResult",
+    "run_staggered_flows",
+    "WorkConservingResult",
+    "run_fig11",
+    "IncastPoint",
+    "run_fig12",
+    "run_fig15",
+    "run_incast_point",
+    "BenchmarkResult",
+    "run_benchmark",
+    "run_fig13",
+    "run_fig16",
+    "RhoPoint",
+    "run_fig14",
+    "run_rho_point",
+]

@@ -1,0 +1,78 @@
+"""Shared plumbing for the per-figure experiment drivers.
+
+Every driver follows the same recipe: build a topology with the queue
+discipline its protocol needs, install TFC agents when applicable, attach
+samplers, run, and return a small result object that both the benchmark
+harness and the tests can assert on.  The pieces shared by all of them
+live here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..core.params import DEFAULT_PARAMS, TfcParams
+from ..net.topology import Topology
+from ..transport.registry import configure_network, queue_factory_for
+
+PROTOCOL_LABELS = {"tfc": "TFC", "dctcp": "DCTCP", "tcp": "TCP"}
+ALL_PROTOCOLS = ("tfc", "dctcp", "tcp")
+
+
+@dataclass
+class ExperimentResult:
+    """Generic result container: named scalars plus named series."""
+
+    name: str
+    protocol: str
+    scalars: Dict[str, float] = field(default_factory=dict)
+    series: Dict[str, list] = field(default_factory=dict)
+
+    def __getitem__(self, key: str) -> float:
+        return self.scalars[key]
+
+
+def build_topology(
+    builder: Callable[..., Topology],
+    protocol: str,
+    buffer_bytes: int,
+    tfc_params: Optional[TfcParams] = None,
+    ecn_threshold_bytes: int = 32_000,
+    **builder_kwargs,
+) -> Topology:
+    """Build a topology wired for ``protocol`` (queues + switch agents)."""
+    topo = builder(
+        buffer_bytes=buffer_bytes,
+        queue_factory=queue_factory_for(
+            protocol, buffer_bytes, ecn_threshold_bytes
+        ),
+        **builder_kwargs,
+    )
+    configure_network(
+        topo.network, protocol, tfc_params or DEFAULT_PARAMS
+    )
+    return topo
+
+
+def format_rate(bps: float) -> str:
+    """Human-readable rate for report tables."""
+    if bps >= 1e9:
+        return f"{bps / 1e9:.2f} Gbps"
+    return f"{bps / 1e6:.0f} Mbps"
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Minimal fixed-width ASCII table used by the bench reports."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(row[i])) for row in rows))
+        if rows
+        else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    def render(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+    lines = [render(headers), render(["-" * w for w in widths])]
+    lines.extend(render(row) for row in rows)
+    return "\n".join(lines)

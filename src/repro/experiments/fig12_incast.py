@@ -1,0 +1,147 @@
+"""Figs. 12 and 15 — incast: goodput/queue (testbed) and throughput/
+timeouts (large-scale) versus the number of senders.
+
+Testbed variant (Fig. 12): 1 Gbps links, 256 KB buffers, 256 KB blocks,
+barrier-synchronised rounds.  TFC holds 800-900 Mbps goodput at any fan-in
+and keeps the queue near zero; TCP collapses beyond ~10 senders with the
+queue pinned at the buffer size; DCTCP collapses beyond ~50.
+
+Large-scale variant (Fig. 15): 10 Gbps links, 512 KB buffers, block sizes
+64/128/256 KB, up to 400 senders; the metric is averaged throughput and
+the *maximum timeouts one flow suffers per block*.
+
+Both share :func:`run_incast_point`; the sweep helpers assemble the paper's
+x-axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..metrics.samplers import QueueSampler
+from ..net.topology import dumbbell
+from ..sim.units import GBPS, MILLISECOND, microseconds, seconds
+from ..workloads.incast import IncastCoordinator
+from .common import build_topology
+
+
+@dataclass
+class IncastPoint:
+    """One (protocol, n_senders, block size) measurement."""
+
+    protocol: str
+    n_senders: int
+    block_bytes: int
+    goodput_bps: float
+    rounds_completed: int
+    max_timeouts_per_block: float
+    total_timeouts: int
+    queue_mean_bytes: float
+    queue_max_bytes: float
+    drops: int
+
+
+def run_incast_point(
+    protocol: str,
+    n_senders: int,
+    block_bytes: int = 256_000,
+    rounds: int = 10,
+    rate_bps: int = GBPS,
+    buffer_bytes: int = 256_000,
+    min_rto_ns: int = 10 * MILLISECOND,
+    max_duration_s: float = 20.0,
+    seed: int = 0,
+) -> IncastPoint:
+    """One incast configuration, run to round completion (or a time cap)."""
+    topo = build_topology(
+        dumbbell,
+        protocol,
+        buffer_bytes=buffer_bytes,
+        n_senders=n_senders,
+        rate_bps=rate_bps,
+        seed=seed,
+    )
+    net = topo.network
+    client = topo.hosts[-1]
+    servers = topo.hosts[:n_senders]
+
+    coordinator = IncastCoordinator(
+        client,
+        servers,
+        protocol,
+        block_bytes=block_bytes,
+        rounds=rounds,
+        min_rto_ns=min_rto_ns,
+    )
+    queue_sampler = QueueSampler(
+        net.sim, topo.bottleneck("main"), microseconds(100)
+    )
+
+    horizon = seconds(max_duration_s)
+    chunk = seconds(0.05)
+    while not coordinator.finished and net.sim.now < horizon:
+        net.run_for(chunk)
+
+    return IncastPoint(
+        protocol=protocol,
+        n_senders=n_senders,
+        block_bytes=block_bytes,
+        goodput_bps=coordinator.goodput_bps,
+        rounds_completed=coordinator.rounds_completed,
+        max_timeouts_per_block=coordinator.max_timeouts_per_block,
+        total_timeouts=coordinator.total_timeouts,
+        queue_mean_bytes=queue_sampler.mean(),
+        queue_max_bytes=queue_sampler.max(),
+        drops=net.total_drops(),
+    )
+
+
+def run_fig12(
+    protocols: Sequence[str] = ("tfc", "dctcp", "tcp"),
+    sender_counts: Sequence[int] = (5, 10, 20, 40, 60, 80, 100),
+    block_bytes: int = 256_000,
+    rounds: int = 5,
+    seed: int = 0,
+) -> Dict[str, List[IncastPoint]]:
+    """The Fig. 12 sweep: goodput and queue vs number of senders (1 Gbps)."""
+    return {
+        protocol: [
+            run_incast_point(
+                protocol,
+                n,
+                block_bytes=block_bytes,
+                rounds=rounds,
+                seed=seed,
+            )
+            for n in sender_counts
+        ]
+        for protocol in protocols
+    }
+
+
+def run_fig15(
+    protocols: Sequence[str] = ("tfc", "tcp"),
+    sender_counts: Sequence[int] = (50, 100, 200, 400),
+    block_sizes: Sequence[int] = (64_000, 128_000, 256_000),
+    rounds: int = 3,
+    seed: int = 0,
+) -> Dict[str, Dict[int, List[IncastPoint]]]:
+    """The Fig. 15 sweep: 10 Gbps / 512 KB buffers / three block sizes."""
+    results: Dict[str, Dict[int, List[IncastPoint]]] = {}
+    for protocol in protocols:
+        results[protocol] = {}
+        for block in block_sizes:
+            results[protocol][block] = [
+                run_incast_point(
+                    protocol,
+                    n,
+                    block_bytes=block,
+                    rounds=rounds,
+                    rate_bps=10 * GBPS,
+                    buffer_bytes=512_000,
+                    seed=seed,
+                )
+                for n in sender_counts
+            ]
+    return results

@@ -1,0 +1,34 @@
+"""Measurement: samplers, FCT collection, statistics."""
+
+from .fct import SIZE_BUCKETS, FctCollector, FctRecord, bucket_for_size
+from .samplers import (
+    PeriodicSampler,
+    QueueSampler,
+    RateSampler,
+    convergence_time_ns,
+)
+from .stats import (
+    cdf_points,
+    jain_fairness,
+    mean,
+    percentile,
+    summarize_tail,
+    time_average,
+)
+
+__all__ = [
+    "SIZE_BUCKETS",
+    "FctCollector",
+    "FctRecord",
+    "bucket_for_size",
+    "PeriodicSampler",
+    "QueueSampler",
+    "RateSampler",
+    "convergence_time_ns",
+    "cdf_points",
+    "jain_fairness",
+    "mean",
+    "percentile",
+    "summarize_tail",
+    "time_average",
+]

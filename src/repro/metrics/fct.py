@@ -1,0 +1,117 @@
+"""Flow-completion-time collection.
+
+The benchmark experiments (Figs. 13 and 16) report FCT two ways: the tail
+distribution of *query* flows, and the 99.9th percentile of *background*
+flows bucketed by flow size.  :class:`FctCollector` receives completed
+senders (via the ``on_complete`` callback of :func:`repro.transport.
+open_flow`) tagged with a category, and produces both reports.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.units import to_microseconds
+from ..transport.base import Sender
+from .stats import percentile, summarize_tail
+
+# The paper's Fig. 13b / 16b size buckets.
+SIZE_BUCKETS: Sequence[Tuple[str, int, int]] = (
+    ("<1KB", 0, 1_000),
+    ("1-10KB", 1_000, 10_000),
+    ("10KB-100KB", 10_000, 100_000),
+    ("100KB-1MB", 100_000, 1_000_000),
+    ("1-10MB", 1_000_000, 10_000_000),
+    (">10MB", 10_000_000, 1 << 62),
+)
+
+
+def bucket_for_size(size_bytes: int) -> str:
+    """Name of the paper's size bucket containing ``size_bytes``."""
+    for name, lo, hi in SIZE_BUCKETS:
+        if lo <= size_bytes < hi:
+            return name
+    return SIZE_BUCKETS[-1][0]
+
+
+class FctRecord:
+    """One completed flow."""
+
+    __slots__ = ("category", "size_bytes", "fct_ns", "timeouts")
+
+    def __init__(self, category: str, size_bytes: int, fct_ns: int, timeouts: int):
+        self.category = category
+        self.size_bytes = size_bytes
+        self.fct_ns = fct_ns
+        self.timeouts = timeouts
+
+
+class FctCollector:
+    """Accumulates completed flows and renders the paper's FCT rows."""
+
+    def __init__(self) -> None:
+        self.records: List[FctRecord] = []
+        self.pending = 0
+
+    # ------------------------------------------------------------------
+    def expect(self, count: int = 1) -> None:
+        """Declare flows that should complete (for completion accounting)."""
+        self.pending += count
+
+    def completion_handler(self, category: str):
+        """An ``on_complete`` callback recording flows under ``category``."""
+
+        def handler(sender: Sender) -> None:
+            fct = sender.stats.fct_ns
+            assert fct is not None, "on_complete fired without completion time"
+            self.records.append(
+                FctRecord(category, sender.flow_bytes, fct, sender.stats.timeouts)
+            )
+            self.pending -= 1
+
+        return handler
+
+    # ------------------------------------------------------------------
+    def fcts_us(self, category: Optional[str] = None) -> List[float]:
+        """FCTs in microseconds, optionally filtered by category."""
+        return [
+            to_microseconds(record.fct_ns)
+            for record in self.records
+            if category is None or record.category == category
+        ]
+
+    def tail_summary_us(self, category: str) -> Dict[str, float]:
+        """Mean/95/99/99.9/99.99th FCT (us) for one category (Fig. 13a)."""
+        values = self.fcts_us(category)
+        if not values:
+            raise ValueError(f"no completed flows in category {category!r}")
+        return summarize_tail(values)
+
+    def bucketed_p999_us(self, category: str) -> Dict[str, float]:
+        """99.9th percentile FCT (us) per size bucket (Fig. 13b)."""
+        buckets: Dict[str, List[float]] = defaultdict(list)
+        for record in self.records:
+            if record.category == category:
+                buckets[bucket_for_size(record.size_bytes)].append(
+                    to_microseconds(record.fct_ns)
+                )
+        return {
+            name: percentile(values, 99.9)
+            for name, values in buckets.items()
+            if values
+        }
+
+    def total_timeouts(self, category: Optional[str] = None) -> int:
+        """Sum of RTO events across completed flows."""
+        return sum(
+            record.timeouts
+            for record in self.records
+            if category is None or record.category == category
+        )
+
+    def completed(self, category: Optional[str] = None) -> int:
+        """Number of completed flows (optionally per category)."""
+        if category is None:
+            return len(self.records)
+        return sum(1 for record in self.records if record.category == category)

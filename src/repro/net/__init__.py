@@ -1,0 +1,43 @@
+"""Network substrate: packets, queues, links, switches, hosts, topologies."""
+
+from .host import Host
+from .network import Network
+from .node import Endpoint, Node, Switch
+from .packet import (
+    ETHERNET_OVERHEAD,
+    HEADER_BYTES,
+    MIN_FRAME_BYTES,
+    MSS,
+    MTU,
+    WINDOW_SENTINEL,
+    FlowKey,
+    Packet,
+)
+from .port import Link, Port
+from .queues import DropTailQueue, EcnQueue
+from .topology import Topology, dumbbell, leaf_spine, multi_bottleneck, testbed
+
+__all__ = [
+    "ETHERNET_OVERHEAD",
+    "HEADER_BYTES",
+    "MIN_FRAME_BYTES",
+    "MSS",
+    "MTU",
+    "WINDOW_SENTINEL",
+    "FlowKey",
+    "Packet",
+    "Host",
+    "Network",
+    "Endpoint",
+    "Node",
+    "Switch",
+    "Link",
+    "Port",
+    "DropTailQueue",
+    "EcnQueue",
+    "Topology",
+    "dumbbell",
+    "leaf_spine",
+    "multi_bottleneck",
+    "testbed",
+]

@@ -1,0 +1,105 @@
+"""End hosts.
+
+A :class:`Host` terminates transport connections.  Packets arriving from the
+NIC are demultiplexed to connection endpoints by flow key (with a listener
+table for passive opens, like the OS dispatching a SYN to a listening
+socket).  Each delivery is delayed by a small random *host processing
+delay*; the paper leans on this jitter to explain why the measured
+queue-free RTT (``rtt_b``) sits below the average referenced RTT (Fig. 6),
+so it is modelled explicitly and is configurable per host.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Optional, Protocol
+
+from ..sim.engine import Simulator
+from ..sim.rng import SeedSequence
+from ..sim.trace import Tracer
+from .node import Endpoint
+from .packet import FlowKey, Packet
+
+
+class PacketSink(Protocol):
+    """Anything that can accept a delivered packet (connection endpoints)."""
+
+    def on_packet(self, packet: Packet) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class Host(Endpoint):
+    """A server: one NIC port plus a transport demux table."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        name: str,
+        tracer: Tracer,
+        seeds: SeedSequence,
+        processing_delay_ns: int = 2_000,
+        processing_jitter_ns: int = 4_000,
+    ):
+        super().__init__(sim, node_id, name, tracer)
+        self._rng = seeds.stream(f"host:{name}:proc")
+        self.processing_delay_ns = processing_delay_ns
+        self.processing_jitter_ns = processing_jitter_ns
+        self._connections: Dict[FlowKey, PacketSink] = {}
+        self._listeners: Dict[int, Callable[[Packet], Optional[PacketSink]]] = {}
+        self._port_counter = itertools.count(10_000)
+
+    # ------------------------------------------------------------------
+    # Socket-table management
+    # ------------------------------------------------------------------
+    def allocate_port(self) -> int:
+        """Pick a fresh ephemeral source port."""
+        return next(self._port_counter)
+
+    def register_connection(self, key: FlowKey, endpoint: PacketSink) -> None:
+        """Bind ``endpoint`` to the *incoming* flow key it should receive."""
+        if key in self._connections:
+            raise ValueError(f"{self.name}: flow key {key} already bound")
+        self._connections[key] = endpoint
+
+    def unregister_connection(self, key: FlowKey) -> None:
+        """Release a binding (idempotent, for teardown paths)."""
+        self._connections.pop(key, None)
+
+    def listen(
+        self, port: int, acceptor: Callable[[Packet], Optional[PacketSink]]
+    ) -> None:
+        """Register a passive-open handler for SYNs addressed to ``port``.
+
+        The acceptor returns the endpoint that will own the new connection
+        (which must register itself), or None to ignore the SYN.
+        """
+        self._listeners[port] = acceptor
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def send(self, packet: Packet) -> None:
+        """Transmit via the single NIC port."""
+        self.ports[0].send(packet)
+
+    def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        delay = self.processing_delay_ns
+        if self.processing_jitter_ns > 0:
+            delay += self._rng.randrange(self.processing_jitter_ns + 1)
+        self.sim.schedule(delay, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        endpoint = self._connections.get(packet.flow_key)
+        if endpoint is not None:
+            endpoint.on_packet(packet)
+            return
+        if packet.syn and not packet.is_ack:
+            acceptor = self._listeners.get(packet.dport)
+            if acceptor is not None:
+                new_endpoint = acceptor(packet)
+                if new_endpoint is not None:
+                    new_endpoint.on_packet(packet)
+                return
+        # Late segment for a closed connection; real stacks send RST, we drop.
+        self.tracer.emit("host.orphan_packet", packet=packet, host=self)

@@ -1,0 +1,167 @@
+"""Network container: nodes, cables, and static shortest-path routing.
+
+:class:`Network` is the object experiments hold: it owns the simulator,
+tracer, and RNG, provides builders for hosts/switches/cables, and computes
+forwarding tables once the topology is wired.  Cables are full duplex — one
+call creates both unidirectional links with their own ports and queues, so
+the two directions never share a queue (as on real hardware).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.rng import SeedSequence
+from ..sim.trace import Tracer
+from .host import Host
+from .node import Node, Switch
+from .port import Link, Port
+from .queues import DropTailQueue
+
+QueueFactory = Callable[[int], DropTailQueue]
+
+
+def _default_queue_factory(capacity_bytes: int) -> QueueFactory:
+    def make(rate_bps: int) -> DropTailQueue:  # noqa: ARG001 - uniform signature
+        return DropTailQueue(capacity_bytes)
+
+    return make
+
+
+class Network:
+    """Topology plus the simulation services every component needs."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        default_buffer_bytes: int = 256_000,
+        host_buffer_bytes: int = 4_000_000,
+        host_processing_delay_ns: int = 2_000,
+        host_processing_jitter_ns: int = 4_000,
+    ):
+        self.sim = Simulator()
+        self.tracer = Tracer()
+        self.seeds = SeedSequence(seed)
+        self.default_buffer_bytes = default_buffer_bytes
+        self.host_buffer_bytes = host_buffer_bytes
+        self.host_processing_delay_ns = host_processing_delay_ns
+        self.host_processing_jitter_ns = host_processing_jitter_ns
+        self.nodes: List[Node] = []
+        self.hosts: List[Host] = []
+        self.switches: List[Switch] = []
+        self._adjacency: Dict[int, List[Tuple[int, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        """Create a host (its NIC port appears when it is cabled)."""
+        host = Host(
+            self.sim,
+            len(self.nodes),
+            name,
+            self.tracer,
+            self.seeds,
+            processing_delay_ns=self.host_processing_delay_ns,
+            processing_jitter_ns=self.host_processing_jitter_ns,
+        )
+        self.nodes.append(host)
+        self.hosts.append(host)
+        self._adjacency[host.node_id] = []
+        return host
+
+    def add_switch(self, name: str) -> Switch:
+        """Create a switch."""
+        switch = Switch(self.sim, len(self.nodes), name, self.tracer)
+        self.nodes.append(switch)
+        self.switches.append(switch)
+        self._adjacency[switch.node_id] = []
+        return switch
+
+    def cable(
+        self,
+        a: Node,
+        b: Node,
+        rate_bps: int,
+        delay_ns: int,
+        queue_factory: Optional[QueueFactory] = None,
+    ) -> Tuple[Port, Port]:
+        """Connect ``a`` and ``b`` full duplex; returns (port on a, port on b)."""
+        make_queue = queue_factory or _default_queue_factory(
+            self.default_buffer_bytes
+        )
+
+        def queue_for(node: Node) -> DropTailQueue:
+            # Host NICs get deep software queues (the OS, not a switch ASIC)
+            # so switch-buffer experiments aren't polluted by sender drops.
+            if isinstance(node, Host):
+                return DropTailQueue(self.host_buffer_bytes)
+            return make_queue(rate_bps)
+
+        port_a_index = len(a.ports)
+        port_b_index = len(b.ports)
+        link_ab = Link(self.sim, rate_bps, delay_ns, b, port_b_index)
+        link_ba = Link(self.sim, rate_bps, delay_ns, a, port_a_index)
+        port_a = Port(self.sim, a, port_a_index, link_ab, queue_for(a), self.tracer)
+        port_b = Port(self.sim, b, port_b_index, link_ba, queue_for(b), self.tracer)
+        a.add_port(port_a)
+        b.add_port(port_b)
+        self._adjacency[a.node_id].append((b.node_id, port_a_index))
+        self._adjacency[b.node_id].append((a.node_id, port_b_index))
+        return port_a, port_b
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """Populate every node's forwarding table with BFS shortest paths.
+
+        Ties are broken by neighbour insertion order, which is deterministic
+        because topology builders wire cables in a fixed order.
+        """
+        for destination in self.nodes:
+            self._route_towards(destination.node_id)
+
+    def _route_towards(self, dst_id: int) -> None:
+        # BFS outward from the destination; the first hop discovered at each
+        # node is its next hop towards dst.
+        visited = {dst_id}
+        frontier = deque([dst_id])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor_id, neighbor_port in self._adjacency[current]:
+                if neighbor_id in visited:
+                    continue
+                # neighbor reaches dst via the port pointing back at current.
+                for peer_id, port_index in self._adjacency[neighbor_id]:
+                    if peer_id == current:
+                        self.nodes[neighbor_id].forwarding_table[dst_id] = port_index
+                        break
+                visited.add(neighbor_id)
+                frontier.append(neighbor_id)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def run_for(self, duration_ns: int) -> int:
+        """Advance the simulation by ``duration_ns``."""
+        return self.sim.run_for(duration_ns)
+
+    def run_until(self, time_ns: int) -> int:
+        """Advance the simulation to absolute time ``time_ns``."""
+        return self.sim.run(until_ns=time_ns)
+
+    def host_by_name(self, name: str) -> Host:
+        """Look up a host by its builder-assigned name."""
+        for host in self.hosts:
+            if host.name == name:
+                return host
+        raise KeyError(f"no host named {name}")
+
+    def total_drops(self) -> int:
+        """Sum of drop-tail losses across every port in the network."""
+        return sum(
+            port.queue.drops for node in self.nodes for port in node.ports
+        )

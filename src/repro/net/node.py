@@ -1,0 +1,119 @@
+"""Nodes: the shared base for switches and hosts.
+
+A :class:`Node` owns its outgoing :class:`~repro.net.port.Port` objects and
+receives packets from incoming links.  Routing is static: topology builders
+populate ``forwarding_table`` (destination node id -> local port index) from
+shortest paths after wiring everything up.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..sim.engine import Simulator
+from ..sim.trace import Tracer
+from .packet import Packet
+from .port import Port
+
+
+class Node:
+    """A network element with ports and a forwarding table."""
+
+    def __init__(self, sim: Simulator, node_id: int, name: str, tracer: Tracer):
+        self.sim = sim
+        self.node_id = node_id
+        self.name = name
+        self.tracer = tracer
+        self.ports: List[Port] = []
+        self.forwarding_table: Dict[int, int] = {}
+        self.rx_packets = 0
+        self.rx_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Wiring (used by topology builders)
+    # ------------------------------------------------------------------
+    def add_port(self, port: Port) -> int:
+        """Attach an outgoing port; returns its local index."""
+        assert port.index == len(self.ports), "port indices must be dense"
+        self.ports.append(port)
+        return port.index
+
+    def port_towards(self, dst_node_id: int) -> Port:
+        """The outgoing port used to reach ``dst_node_id``."""
+        return self.ports[self.forwarding_table[dst_node_id]]
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def receive(self, packet: Packet, in_port_index: int) -> None:
+        """Handle a fully received frame (store-and-forward boundary)."""
+        self.rx_packets += 1
+        self.rx_bytes += packet.frame_size
+        self.handle_packet(packet, in_port_index)
+
+    def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        """Protocol behaviour; subclasses override."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ports={len(self.ports)}>"
+
+
+class Switch(Node):
+    """Output-queued store-and-forward switch.
+
+    Per-port protocol agents (e.g. the TFC switch agent) hook two points:
+
+    * ``agent.on_transit(packet)`` — every packet about to be queued on the
+      agent's port (the *data direction* for that agent); may rewrite header
+      fields (window stamping) and updates the token/E/rho counters.
+    * ``agent.on_reverse_arrival(packet)`` — every packet arriving *from*
+      the agent's link (the reverse direction, where RMA ACKs travel).
+      Returns True when the agent consumed the packet (delay function) and
+      will re-inject it later via :meth:`inject`.
+    """
+
+    def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        in_port = (
+            self.ports[in_port_index] if 0 <= in_port_index < len(self.ports) else None
+        )
+        if in_port is not None and in_port.agent is not None:
+            if in_port.agent.on_reverse_arrival(packet):
+                return  # held by the delay arbiter; re-injected later
+        self.forward(packet)
+
+    def forward(self, packet: Packet) -> None:
+        """Route ``packet`` out the port towards its destination."""
+        out_index = self.forwarding_table.get(packet.dst)
+        if out_index is None:
+            raise KeyError(
+                f"{self.name}: no route to node {packet.dst} for {packet!r}"
+            )
+        out_port = self.ports[out_index]
+        if out_port.agent is not None:
+            out_port.agent.on_transit(packet)
+        out_port.send(packet)
+
+    def inject(self, packet: Packet) -> None:
+        """Re-inject a packet previously held by a port agent."""
+        self.forward(packet)
+
+
+class Endpoint(Node):
+    """Anything that terminates flows (hosts). Subclassed in host.py."""
+
+    def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        raise NotImplementedError
+
+
+def attach_port(
+    sim: Simulator,
+    node: Node,
+    link,
+    queue,
+    tracer: Optional[Tracer] = None,
+) -> Port:
+    """Create a port on ``node`` transmitting into ``link``."""
+    port = Port(sim, node, len(node.ports), link, queue, tracer)
+    node.add_port(port)
+    return port

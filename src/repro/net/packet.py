@@ -1,0 +1,136 @@
+"""Packet model.
+
+One packet class serves every protocol in the library.  It is a TCP-like
+segment plus the two TFC flag bits (RM / RMA) and the ECN bits DCTCP needs.
+Following the paper's implementation section, the TFC header "is similar to
+the TCP header except that it uses two reserved bits in the flags field",
+so sharing the structure is faithful, not a shortcut.
+
+Sizes: ``payload`` is the number of application bytes carried; the wire size
+adds a fixed 40-byte TCP/IP header plus 18 bytes of Ethernet framing, and is
+lower-bounded by the 64-byte minimum Ethernet frame.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Tuple
+
+HEADER_BYTES = 40        # TCP/IP header (no options)
+ETHERNET_OVERHEAD = 18   # Ethernet header + FCS (preamble/IFG folded in)
+MIN_FRAME_BYTES = 64     # minimum Ethernet frame
+MSS = 1460               # maximum segment size (payload bytes)
+MTU = MSS + HEADER_BYTES # 1500-byte IP MTU
+
+# Sentinel stamped by TFC senders into the window field of outgoing data
+# packets; any real switch allocation is smaller. The paper uses 0xffff with
+# a window scale; we keep it in bytes.
+WINDOW_SENTINEL = float(0xFFFF * MSS)
+
+_packet_ids = itertools.count()
+
+FlowKey = Tuple[int, int, int, int]  # (src, dst, sport, dport)
+
+
+class Packet:
+    """A simulated segment/frame.
+
+    Attributes mirror header fields; ``hops`` counts store-and-forward
+    stages for debugging, and ``sent_at`` carries the original transmission
+    timestamp used for RTT sampling (legitimate for a simulator: real stacks
+    recover it from the segment's position in the retransmission queue).
+    """
+
+    __slots__ = (
+        "packet_id", "src", "dst", "sport", "dport",
+        "seq", "ack", "payload",
+        "syn", "fin", "is_ack",
+        "rm", "rma", "window", "weight",
+        "ecn_capable", "ecn_ce", "ecn_echo",
+        "sent_at", "retransmitted", "hops",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        sport: int,
+        dport: int,
+        seq: int = 0,
+        ack: int = 0,
+        payload: int = 0,
+        syn: bool = False,
+        fin: bool = False,
+        is_ack: bool = False,
+        rm: bool = False,
+        rma: bool = False,
+        window: float = WINDOW_SENTINEL,
+        ecn_capable: bool = False,
+    ):
+        self.packet_id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack = ack
+        self.payload = payload
+        self.syn = syn
+        self.fin = fin
+        self.is_ack = is_ack
+        self.rm = rm
+        self.rma = rma
+        self.window = window
+        self.weight = 1  # TFC allocation weight (weighted policy extension)
+        self.ecn_capable = ecn_capable
+        self.ecn_ce = False
+        self.ecn_echo = False
+        self.sent_at: Optional[int] = None
+        self.retransmitted = False
+        self.hops = 0
+
+    # ------------------------------------------------------------------
+    # Sizes
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Bytes occupied in switch buffers (IP packet size)."""
+        return self.payload + HEADER_BYTES
+
+    @property
+    def frame_size(self) -> int:
+        """Bytes serialised on the wire (Ethernet frame size)."""
+        return max(self.size + ETHERNET_OVERHEAD, MIN_FRAME_BYTES)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    @property
+    def flow_key(self) -> FlowKey:
+        """Five-tuple identity of the flow this packet belongs to."""
+        return (self.src, self.dst, self.sport, self.dport)
+
+    @property
+    def reverse_flow_key(self) -> FlowKey:
+        """Flow key of the opposite direction (for demux of ACKs)."""
+        return (self.dst, self.src, self.dport, self.sport)
+
+    @property
+    def end_seq(self) -> int:
+        """Sequence number immediately after this segment's payload."""
+        return self.seq + self.payload
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            name
+            for name, value in (
+                ("S", self.syn), ("F", self.fin), ("A", self.is_ack),
+                ("M", self.rm), ("m", self.rma), ("E", self.ecn_ce),
+            )
+            if value
+        )
+        return (
+            f"<Pkt#{self.packet_id} {self.src}:{self.sport}->"
+            f"{self.dst}:{self.dport} seq={self.seq} ack={self.ack} "
+            f"len={self.payload} [{flags}]>"
+        )

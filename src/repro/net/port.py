@@ -1,0 +1,118 @@
+"""Output ports and unidirectional links.
+
+A :class:`Port` is the transmitting side of one link direction: it owns the
+packet queue, serialises one packet at a time at the link rate, and hands
+finished frames to the :class:`Link`, which delivers them to the peer node
+after the propagation delay.  Store-and-forward behaviour (the paper's
+NetFPGA switches, and the reason RTT depends on frame size) falls out
+naturally: a node only sees a packet once the whole frame has been received.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from ..sim.engine import Simulator
+from ..sim.trace import PACKET_DROP, Tracer
+from ..sim.units import transmission_time_ns
+from .packet import Packet
+from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .node import Node
+
+
+class Link:
+    """One direction of a cable: fixed rate and propagation delay."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: int,
+        delay_ns: int,
+        dst_node: "Node",
+        dst_port_index: int,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        if delay_ns < 0:
+            raise ValueError(f"link delay must be >= 0, got {delay_ns}")
+        self._sim = sim
+        self.rate_bps = rate_bps
+        self.delay_ns = delay_ns
+        self.dst_node = dst_node
+        self.dst_port_index = dst_port_index
+
+    def carry(self, packet: Packet) -> None:
+        """Deliver a fully serialised frame to the far end after the delay."""
+        self._sim.schedule(self.delay_ns, self._arrive, packet)
+
+    def _arrive(self, packet: Packet) -> None:
+        packet.hops += 1
+        self.dst_node.receive(packet, self.dst_port_index)
+
+
+class Port:
+    """Transmit side of a link direction, owned by a node.
+
+    ``agent`` is an optional protocol hook (the TFC switch agent attaches
+    here); the port itself never inspects it — nodes do.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: "Node",
+        index: int,
+        link: Link,
+        queue: DropTailQueue,
+        tracer: Optional[Tracer] = None,
+    ):
+        self._sim = sim
+        self.node = node
+        self.index = index
+        self.link = link
+        self.queue = queue
+        self.tracer = tracer
+        self.agent = None  # set by protocols that need per-port state
+        self._busy = False
+        self.tx_packets = 0
+        self.tx_bytes = 0
+
+    @property
+    def rate_bps(self) -> int:
+        """Line rate of the attached link."""
+        return self.link.rate_bps
+
+    @property
+    def peer_node(self) -> "Node":
+        """Node on the far end of the attached link."""
+        return self.link.dst_node
+
+    def send(self, packet: Packet) -> bool:
+        """Queue ``packet`` for transmission; False if drop-tail rejected it."""
+        if not self.queue.enqueue(packet):
+            if self.tracer is not None:
+                self.tracer.emit(PACKET_DROP, packet=packet, port=self)
+            return False
+        if not self._busy:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.dequeue()
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_ns = transmission_time_ns(packet.frame_size, self.link.rate_bps)
+        self._sim.schedule(tx_ns, self._finish_tx, packet)
+
+    def _finish_tx(self, packet: Packet) -> None:
+        self.tx_packets += 1
+        self.tx_bytes += packet.frame_size
+        self.link.carry(packet)
+        self._start_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port {self.node.name}[{self.index}] q={self.queue.byte_length}B>"

@@ -1,0 +1,136 @@
+"""Output-port packet queues.
+
+Two disciplines are enough for the paper's evaluation:
+
+* :class:`DropTailQueue` — FIFO with a byte capacity; arrivals that do not
+  fit are dropped (the testbed NetFPGA boards have 256 KB per port).
+* :class:`EcnQueue` — the same FIFO, but arrivals are CE-marked when the
+  instantaneous queue occupancy exceeds the threshold ``K`` (DCTCP's step
+  marking at the switch).
+
+Queues never touch the simulator clock; the owning :class:`~repro.net.port.
+Port` drives them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from .packet import Packet
+
+
+class DropTailQueue:
+    """FIFO byte-bounded queue with drop-tail admission."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.drops = 0
+        self.dropped_bytes = 0
+        self.enqueues = 0
+        self.max_bytes_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def byte_length(self) -> int:
+        """Current occupancy in bytes (buffered IP packet bytes)."""
+        return self._bytes
+
+    @property
+    def packet_length(self) -> int:
+        """Current occupancy in packets."""
+        return len(self._queue)
+
+    def admit(self, packet: Packet) -> bool:
+        """Whether ``packet`` fits right now (without enqueueing it)."""
+        return self._bytes + packet.size <= self.capacity_bytes
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Append ``packet``; returns False (and counts a drop) on overflow."""
+        if not self.admit(packet):
+            self.drops += 1
+            self.dropped_bytes += packet.size
+            return False
+        self._mark(packet)
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueues += 1
+        if self._bytes > self.max_bytes_seen:
+            self.max_bytes_seen = self._bytes
+        return True
+
+    def dequeue(self) -> Optional[Packet]:
+        """Pop the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def _mark(self, packet: Packet) -> None:
+        """Admission-time hook for marking disciplines (no-op here)."""
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<{type(self).__name__} {self._bytes}/{self.capacity_bytes}B"
+            f" pkts={len(self._queue)} drops={self.drops}>"
+        )
+
+
+class RandomDropQueue(DropTailQueue):
+    """Drop-tail queue that additionally drops a random fraction of
+    arrivals — a failure-injection harness for loss-recovery testing
+    (lossy optics, early-discard policies).  Not used by the paper's
+    experiments; used by the robustness tests.
+    """
+
+    def __init__(self, capacity_bytes: int, drop_probability: float, rng):
+        super().__init__(capacity_bytes)
+        if not 0.0 <= drop_probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1), got {drop_probability}"
+            )
+        self.drop_probability = drop_probability
+        self._rng = rng
+        self.random_drops = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
+            self.random_drops += 1
+            self.drops += 1
+            self.dropped_bytes += packet.size
+            return False
+        return super().enqueue(packet)
+
+
+class EcnQueue(DropTailQueue):
+    """Drop-tail queue with DCTCP step marking.
+
+    An arriving packet is CE-marked when the queue occupancy *at admission*
+    (including the packet itself) exceeds ``mark_threshold_bytes``, matching
+    the instantaneous-queue marking DCTCP configures on switches.
+    """
+
+    def __init__(self, capacity_bytes: int, mark_threshold_bytes: int):
+        super().__init__(capacity_bytes)
+        if mark_threshold_bytes <= 0:
+            raise ValueError(
+                f"mark threshold must be positive, got {mark_threshold_bytes}"
+            )
+        self.mark_threshold_bytes = mark_threshold_bytes
+        self.marks = 0
+
+    def _mark(self, packet: Packet) -> None:
+        if (
+            packet.ecn_capable
+            and self._bytes + packet.size > self.mark_threshold_bytes
+        ):
+            packet.ecn_ce = True
+            self.marks += 1

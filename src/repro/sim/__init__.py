@@ -1,0 +1,18 @@
+"""Discrete-event simulation kernel: clock, events, timers, RNG, tracing."""
+
+from .engine import Event, SimulationError, Simulator
+from .rng import SeedSequence
+from .timers import Timer
+from .trace import Tracer
+from . import trace, units
+
+__all__ = [
+    "Event",
+    "SimulationError",
+    "Simulator",
+    "SeedSequence",
+    "Timer",
+    "Tracer",
+    "trace",
+    "units",
+]

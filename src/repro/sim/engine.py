@@ -1,0 +1,162 @@
+"""Discrete-event simulation kernel.
+
+A :class:`Simulator` owns a monotonic integer-nanosecond clock and a binary
+heap of pending events.  Events scheduled for the same instant fire in the
+order they were scheduled (FIFO tie-breaking via a monotonically increasing
+sequence number), which makes every run fully deterministic.
+
+The kernel is deliberately tiny: components interact only through
+``schedule`` / ``cancel`` and the read-only ``now`` property.  Everything
+network-specific lives in :mod:`repro.net` and above.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from .units import SECOND, to_seconds
+
+Callback = Callable[..., None]
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are created through :meth:`Simulator.schedule` and compared by
+    ``(time, seq)`` so the heap pops them in deterministic order.  Cancelling
+    marks the event dead; the heap lazily discards dead entries.
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, seq: int, callback: Callback, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event so the engine skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = " cancelled" if self.cancelled else ""
+        name = getattr(self.callback, "__qualname__", repr(self.callback))
+        return f"<Event t={self.time}ns #{self.seq} {name}{state}>"
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel misuse (scheduling in the past, negative delays)."""
+
+
+class Simulator:
+    """The event loop: a clock plus a priority queue of events."""
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._seq: int = 0
+        self._heap: list[Event] = []
+        self._running = False
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in integer nanoseconds."""
+        return self._now
+
+    @property
+    def now_seconds(self) -> float:
+        """Current simulation time in float seconds (reporting only)."""
+        return to_seconds(self._now)
+
+    @property
+    def events_processed(self) -> int:
+        """Total number of events executed so far."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay_ns: int, callback: Callback, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
+        if delay_ns < 0:
+            raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
+        return self.schedule_at(self._now + delay_ns, callback, *args)
+
+    def schedule_at(self, time_ns: int, callback: Callback, *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule at {time_ns}ns, now is {self._now}ns"
+            )
+        event = Event(time_ns, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        until_ns: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Run events in order until the queue drains or a bound is hit.
+
+        ``until_ns`` is inclusive: events scheduled exactly at ``until_ns``
+        still execute, and the clock is left at ``until_ns`` if the horizon
+        was reached (so samplers see the full window).  Returns the number of
+        events processed by this call.
+        """
+        if self._running:
+            raise SimulationError("simulator is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until_ns is not None and event.time > until_ns:
+                    break
+                if max_events is not None and processed >= max_events:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                event.callback(*event.args)
+                processed += 1
+                self._events_processed += 1
+        finally:
+            self._running = False
+        if until_ns is not None and self._now < until_ns:
+            remaining = [e for e in self._heap if not e.cancelled]
+            if not remaining or min(remaining).time > until_ns:
+                self._now = until_ns
+        return processed
+
+    def run_for(self, duration_ns: int) -> int:
+        """Run for ``duration_ns`` of simulated time from the current clock."""
+        return self.run(until_ns=self._now + duration_ns)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Simulator t={self._now / SECOND:.6f}s"
+            f" pending={len(self._heap)} done={self._events_processed}>"
+        )

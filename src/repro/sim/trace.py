@@ -1,0 +1,59 @@
+"""Lightweight publish/subscribe tracing.
+
+Components emit named trace records (packet drops, retransmission timeouts,
+window updates, delimiter re-elections...) without knowing who is listening.
+Experiments and tests subscribe to the records they care about.  When nothing
+subscribes to a topic the emit costs one dict lookup, so tracing can stay in
+the hot path.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable, DefaultDict, List
+
+TraceHandler = Callable[..., None]
+
+
+class Tracer:
+    """A topic -> handlers fan-out with per-topic counters."""
+
+    def __init__(self) -> None:
+        self._handlers: DefaultDict[str, List[TraceHandler]] = defaultdict(list)
+        self.counters: DefaultDict[str, int] = defaultdict(int)
+
+    def subscribe(self, topic: str, handler: TraceHandler) -> None:
+        """Register ``handler`` to be called for every ``topic`` emission."""
+        self._handlers[topic].append(handler)
+
+    def unsubscribe(self, topic: str, handler: TraceHandler) -> None:
+        """Remove a previously registered handler."""
+        self._handlers[topic].remove(handler)
+
+    def emit(self, topic: str, *args: Any, **kwargs: Any) -> None:
+        """Publish a record: bump the topic counter and notify handlers."""
+        self.counters[topic] += 1
+        handlers = self._handlers.get(topic)
+        if handlers:
+            for handler in handlers:
+                handler(*args, **kwargs)
+
+    def count(self, topic: str) -> int:
+        """Number of emissions seen on ``topic`` so far."""
+        return self.counters.get(topic, 0)
+
+    def reset(self) -> None:
+        """Clear all counters (handlers stay subscribed)."""
+        self.counters.clear()
+
+
+# Well-known topics, collected here so subscribers don't typo them.
+PACKET_DROP = "net.packet_drop"
+PACKET_ENQUEUE = "net.packet_enqueue"
+PACKET_ECN_MARK = "net.ecn_mark"
+RETRANSMIT_TIMEOUT = "transport.rto"
+FAST_RETRANSMIT = "transport.fast_retransmit"
+FLOW_COMPLETE = "transport.flow_complete"
+TFC_WINDOW_UPDATE = "tfc.window_update"
+TFC_DELIMITER_ELECTED = "tfc.delimiter_elected"
+TFC_ACK_DELAYED = "tfc.ack_delayed"

@@ -1,0 +1,95 @@
+"""Unit conventions and conversion helpers for the simulator.
+
+All simulation time is kept as **integer nanoseconds** to guarantee exact,
+drift-free arithmetic in the event loop.  All link rates are **bits per
+second** and all sizes are **bytes**.  These helpers keep call sites readable
+(``milliseconds(3)`` instead of ``3 * 10**6``) and centralise the rounding
+policy for rate/size -> time conversions.
+"""
+
+from __future__ import annotations
+
+# Canonical time constants (integer nanoseconds).
+NANOSECOND = 1
+MICROSECOND = 1_000
+MILLISECOND = 1_000_000
+SECOND = 1_000_000_000
+
+# Canonical rate constants (bits per second).
+KBPS = 1_000
+MBPS = 1_000_000
+GBPS = 1_000_000_000
+
+# Canonical size constants (bytes).
+KB = 1_000
+MB = 1_000_000
+KIB = 1_024
+MIB = 1_048_576
+
+
+def nanoseconds(value: float) -> int:
+    """Convert a value expressed in nanoseconds to integer nanoseconds."""
+    return round(value)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer nanoseconds."""
+    return round(value * MICROSECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer nanoseconds."""
+    return round(value * MILLISECOND)
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer nanoseconds."""
+    return round(value * SECOND)
+
+
+def to_seconds(time_ns: int) -> float:
+    """Convert integer nanoseconds back to float seconds (for reporting)."""
+    return time_ns / SECOND
+
+
+def to_microseconds(time_ns: int) -> float:
+    """Convert integer nanoseconds back to float microseconds."""
+    return time_ns / MICROSECOND
+
+
+def to_milliseconds(time_ns: int) -> float:
+    """Convert integer nanoseconds back to float milliseconds."""
+    return time_ns / MILLISECOND
+
+
+def gbps(value: float) -> int:
+    """Convert gigabits per second to bits per second."""
+    return round(value * GBPS)
+
+
+def mbps(value: float) -> int:
+    """Convert megabits per second to bits per second."""
+    return round(value * MBPS)
+
+
+def transmission_time_ns(size_bytes: int, rate_bps: int) -> int:
+    """Serialisation delay of ``size_bytes`` on a ``rate_bps`` link.
+
+    Rounded up so a packet never finishes transmitting early; this keeps
+    back-to-back packets on a saturated link spaced at exactly the line rate
+    or slower, never faster.
+    """
+    if rate_bps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_bps}")
+    bits = size_bytes * 8
+    return -(-bits * SECOND // rate_bps)  # ceil division
+
+
+def bytes_in_interval(rate_bps: int, interval_ns: int) -> float:
+    """How many bytes a ``rate_bps`` link carries in ``interval_ns``."""
+    return rate_bps * interval_ns / (8 * SECOND)
+
+
+def bandwidth_delay_product(rate_bps: int, rtt_ns: int) -> float:
+    """Bandwidth-delay product in bytes (the paper's token value c*rtt)."""
+    return bytes_in_interval(rate_bps, rtt_ns)

@@ -1,0 +1,33 @@
+"""Transport protocols: shared reliability framework, NewReno, DCTCP."""
+
+from .base import FlowState, FlowStats, Receiver, RtoEstimator, Sender
+from .dctcp import DctcpReceiver, DctcpSender
+from .newreno import NewRenoReceiver, NewRenoSender
+from .registry import (
+    DEFAULT_DCTCP_K_BYTES,
+    PROTOCOLS,
+    Protocol,
+    configure_network,
+    get_protocol,
+    open_flow,
+    queue_factory_for,
+)
+
+__all__ = [
+    "FlowState",
+    "FlowStats",
+    "Receiver",
+    "RtoEstimator",
+    "Sender",
+    "DctcpReceiver",
+    "DctcpSender",
+    "NewRenoReceiver",
+    "NewRenoSender",
+    "DEFAULT_DCTCP_K_BYTES",
+    "PROTOCOLS",
+    "Protocol",
+    "configure_network",
+    "get_protocol",
+    "open_flow",
+    "queue_factory_for",
+]

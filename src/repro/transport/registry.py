@@ -1,0 +1,137 @@
+"""Protocol registry and the flow-opening helper used everywhere.
+
+Experiments want one call that wires up a flow of a given protocol between
+two hosts: allocate ports, create the receiver endpoint, create the sender,
+schedule its start.  :func:`open_flow` is that call; :data:`PROTOCOLS` maps
+the names used throughout the benchmarks ("tcp", "dctcp", "tfc") to their
+sender/receiver classes and the queue discipline their switches need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Type
+
+from ..net.host import Host
+from ..net.network import Network
+from ..net.queues import DropTailQueue, EcnQueue
+from ..sim.units import MILLISECOND
+from .base import Receiver, Sender
+from .dctcp import DctcpReceiver, DctcpSender
+from .newreno import NewRenoReceiver, NewRenoSender
+
+DEFAULT_DCTCP_K_BYTES = 32_000  # paper: K = 32 KB on the 1 Gbps testbed
+
+
+@dataclass(frozen=True)
+class Protocol:
+    """Everything needed to run one transport protocol in a scenario."""
+
+    name: str
+    sender_cls: Type[Sender]
+    receiver_cls: Type[Receiver]
+    needs_ecn: bool = False
+    needs_tfc_switches: bool = False
+
+
+# Populated lazily: repro.core imports this module (its endpoints subclass
+# Sender/Receiver), so importing repro.core.sender at module scope here
+# would be circular.
+PROTOCOLS: Dict[str, Protocol] = {}
+
+
+def _ensure_registry() -> Dict[str, Protocol]:
+    if not PROTOCOLS:
+        from ..core.sender import TfcReceiver, TfcSender
+
+        PROTOCOLS["tcp"] = Protocol("tcp", NewRenoSender, NewRenoReceiver)
+        PROTOCOLS["dctcp"] = Protocol(
+            "dctcp", DctcpSender, DctcpReceiver, needs_ecn=True
+        )
+        PROTOCOLS["tfc"] = Protocol(
+            "tfc", TfcSender, TfcReceiver, needs_tfc_switches=True
+        )
+    return PROTOCOLS
+
+
+def get_protocol(name: str) -> Protocol:
+    """Look up a protocol by name with a helpful error."""
+    registry = _ensure_registry()
+    try:
+        return registry[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown protocol {name!r}; choose from {sorted(registry)}"
+        ) from None
+
+
+def queue_factory_for(
+    protocol: str,
+    buffer_bytes: int,
+    ecn_threshold_bytes: int = DEFAULT_DCTCP_K_BYTES,
+) -> Callable[[int], DropTailQueue]:
+    """Queue discipline the given protocol expects on switch ports."""
+    spec = get_protocol(protocol)
+    if spec.needs_ecn:
+        return lambda rate_bps: EcnQueue(buffer_bytes, ecn_threshold_bytes)
+    return lambda rate_bps: DropTailQueue(buffer_bytes)
+
+
+def configure_network(
+    network: Network,
+    protocol: str,
+    tfc_params=None,
+) -> None:
+    """Install protocol-specific switch behaviour (TFC agents)."""
+    if get_protocol(protocol).needs_tfc_switches:
+        from ..core.params import DEFAULT_PARAMS
+        from ..core.switch_agent import enable_tfc
+
+        enable_tfc(network, tfc_params if tfc_params is not None else DEFAULT_PARAMS)
+
+
+def open_flow(
+    src: Host,
+    dst: Host,
+    protocol: str,
+    size_bytes: Optional[int] = None,
+    start_ns: Optional[int] = None,
+    on_complete: Optional[Callable[[Sender], None]] = None,
+    min_rto_ns: int = 10 * MILLISECOND,
+    awnd_bytes: Optional[int] = None,
+    weight: Optional[int] = None,
+) -> Sender:
+    """Create a ``src -> dst`` flow and schedule its start.
+
+    ``size_bytes=None`` makes the flow long-lived; ``start_ns=None`` starts
+    it immediately.  ``weight`` selects the weighted TFC allocation policy
+    (TFC flows only).  Returns the sender (its ``stats`` carry everything
+    the experiments measure; the receiver is reachable for tests via
+    ``sender.receiver``).
+    """
+    spec = get_protocol(protocol)
+    sport = src.allocate_port()
+    dport = dst.allocate_port()
+    common = {} if awnd_bytes is None else {"awnd_bytes": awnd_bytes}
+    sender_kwargs = dict(common)
+    if weight is not None:
+        if not spec.needs_tfc_switches:
+            raise ValueError("weighted allocation is a TFC feature")
+        sender_kwargs["weight"] = weight
+    sender = spec.sender_cls(
+        src,
+        dst.node_id,
+        dport,
+        size_bytes=size_bytes,
+        sport=sport,
+        min_rto_ns=min_rto_ns,
+        on_complete=on_complete,
+        **sender_kwargs,
+    )
+    receiver = spec.receiver_cls(dst, sender.flow_key, **common)
+    sender.receiver = receiver  # convenience back-reference for tests
+    if start_ns is None or start_ns <= src.sim.now:
+        sender.start()
+    else:
+        src.sim.schedule_at(start_ns, sender.start)
+    return sender

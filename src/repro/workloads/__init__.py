@@ -1,0 +1,29 @@
+"""Workload generators: bulk, on-off, incast, empirical benchmark."""
+
+from .bulk import concurrent_flows, staggered_flows
+from .distributions import (
+    QUERY_RESPONSE_BYTES,
+    SHORT_MESSAGE_SIZES,
+    WEB_SEARCH_FLOW_SIZES,
+    PiecewiseCdf,
+    exponential_interarrival_ns,
+    poisson_arrival_times_ns,
+)
+from .empirical import BenchmarkWorkload
+from .incast import IncastCoordinator
+from .onoff import OnOffSource, PacedSource
+
+__all__ = [
+    "concurrent_flows",
+    "staggered_flows",
+    "QUERY_RESPONSE_BYTES",
+    "SHORT_MESSAGE_SIZES",
+    "WEB_SEARCH_FLOW_SIZES",
+    "PiecewiseCdf",
+    "exponential_interarrival_ns",
+    "poisson_arrival_times_ns",
+    "BenchmarkWorkload",
+    "IncastCoordinator",
+    "OnOffSource",
+    "PacedSource",
+]

@@ -1,0 +1,64 @@
+"""Bulk-flow helpers for the micro-benchmarks.
+
+The goodput/queue/convergence experiments (Figs. 8-10) use a handful of
+long-lived flows starting at staggered times; :func:`staggered_flows`
+creates them in one call and returns the senders in start order.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..net.host import Host
+from ..sim.units import MILLISECOND
+from ..transport.base import Sender
+from ..transport.registry import open_flow
+
+
+def staggered_flows(
+    sources: Sequence[Host],
+    destination: Host,
+    protocol: str,
+    interval_ns: int,
+    size_bytes: Optional[int] = None,
+    first_start_ns: int = 0,
+    min_rto_ns: int = 10 * MILLISECOND,
+) -> List[Sender]:
+    """One flow per source host, started ``interval_ns`` apart.
+
+    ``size_bytes=None`` makes them long-lived (the Fig. 8/9 pattern:
+    "establish 2 flows to host H3 at the interval of 3 seconds").
+    """
+    senders = []
+    for i, source in enumerate(sources):
+        senders.append(
+            open_flow(
+                source,
+                destination,
+                protocol,
+                size_bytes=size_bytes,
+                start_ns=first_start_ns + i * interval_ns,
+                min_rto_ns=min_rto_ns,
+            )
+        )
+    return senders
+
+
+def concurrent_flows(
+    sources: Sequence[Host],
+    destination: Host,
+    protocol: str,
+    size_bytes: Optional[int] = None,
+    start_ns: int = 0,
+    min_rto_ns: int = 10 * MILLISECOND,
+) -> List[Sender]:
+    """One flow per source host, all started at the same instant."""
+    return staggered_flows(
+        sources,
+        destination,
+        protocol,
+        interval_ns=0,
+        size_bytes=size_bytes,
+        first_start_ns=start_ns,
+        min_rto_ns=min_rto_ns,
+    )

@@ -1,0 +1,144 @@
+"""Empirical distributions for benchmark traffic generation.
+
+The paper generates its benchmark workload "based on the cumulative
+distribution function of the interval time between two arrival flows and
+the probability distribution of background flow sizes in [7]" — the DCTCP
+measurement study of ~6000 production servers.  The authors' raw traces are
+not public, but the published distributions are; :data:`WEB_SEARCH_FLOW_SIZES`
+transcribes the DCTCP paper's background flow-size CDF (heavy-tailed: over
+half the flows are small, yet most bytes live in multi-MB flows), and flow
+arrivals are Poisson with a configurable load, as in the original study.
+
+:class:`PiecewiseCdf` inverts an empirical CDF by linear interpolation in
+log-size space, which matches how such distributions are universally
+re-sampled in datacenter-transport papers.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from typing import List, Sequence, Tuple
+
+
+class PiecewiseCdf:
+    """Inverse-transform sampler over an empirical CDF.
+
+    ``points`` are (value, cumulative_probability) pairs with strictly
+    increasing values and probabilities, ending at probability 1.0.
+    Sampling interpolates between the points — geometrically when
+    ``log_interp`` is set, which suits heavy-tailed size distributions.
+    """
+
+    def __init__(
+        self,
+        points: Sequence[Tuple[float, float]],
+        log_interp: bool = True,
+    ):
+        if len(points) < 2:
+            raise ValueError("a CDF needs at least two points")
+        values = [v for v, _ in points]
+        probs = [p for _, p in points]
+        if any(b <= a for a, b in zip(values, values[1:])):
+            raise ValueError("CDF values must be strictly increasing")
+        if any(b <= a for a, b in zip(probs, probs[1:])):
+            raise ValueError("CDF probabilities must be strictly increasing")
+        if probs[0] < 0.0:
+            raise ValueError("CDF probabilities must be non-negative")
+        if not math.isclose(probs[-1], 1.0):
+            raise ValueError("CDF must end at probability 1.0")
+        if log_interp and values[0] <= 0:
+            raise ValueError("log interpolation requires positive values")
+        self._values = values
+        self._probs = probs
+        self._log = log_interp
+
+    def sample(self, rng: random.Random) -> float:
+        """Draw one value by inverse-transform sampling."""
+        return self.quantile(rng.random())
+
+    def quantile(self, p: float) -> float:
+        """Value at cumulative probability ``p`` (0 <= p <= 1)."""
+        if not 0.0 <= p <= 1.0:
+            raise ValueError(f"p must be in [0, 1], got {p}")
+        if p <= self._probs[0]:
+            return self._values[0]
+        if p >= self._probs[-1]:
+            return self._values[-1]
+        hi = bisect.bisect_left(self._probs, p)
+        lo = hi - 1
+        span = self._probs[hi] - self._probs[lo]
+        frac = (p - self._probs[lo]) / span if span > 0 else 0.0
+        v_lo, v_hi = self._values[lo], self._values[hi]
+        if self._log:
+            return math.exp(
+                math.log(v_lo) + frac * (math.log(v_hi) - math.log(v_lo))
+            )
+        return v_lo + frac * (v_hi - v_lo)
+
+    def mean(self, steps: int = 10_000) -> float:
+        """Numerical mean of the distribution (midpoint rule on quantiles)."""
+        total = 0.0
+        for i in range(steps):
+            total += self.quantile((i + 0.5) / steps)
+        return total / steps
+
+
+# DCTCP paper (SIGCOMM 2010) background flow-size CDF for the web-search
+# cluster, in bytes.  Transcribed from the published distribution: ~50% of
+# flows are mice under ~35 KB, ~95% of bytes come from flows over 1 MB.
+WEB_SEARCH_FLOW_SIZES = PiecewiseCdf(
+    [
+        (1_000, 0.02),
+        (6_000, 0.15),
+        (13_000, 0.28),
+        (19_000, 0.39),
+        (33_000, 0.50),
+        (53_000, 0.63),
+        (133_000, 0.70),
+        (667_000, 0.80),
+        (1_333_000, 0.90),
+        (3_333_000, 0.95),
+        (6_667_000, 0.98),
+        (20_000_000, 1.00),
+    ]
+)
+
+# Short "message" flows (coordination traffic in the DCTCP study):
+# 50 KB - 1 MB, skewed towards the small end.
+SHORT_MESSAGE_SIZES = PiecewiseCdf(
+    [
+        (50_000, 0.30),
+        (100_000, 0.55),
+        (250_000, 0.75),
+        (500_000, 0.90),
+        (1_000_000, 1.00),
+    ]
+)
+
+QUERY_RESPONSE_BYTES = 2_000  # paper: "The size of each query message is 2 KB"
+
+
+def exponential_interarrival_ns(rng: random.Random, rate_per_s: float) -> int:
+    """One Poisson-process inter-arrival gap, in integer nanoseconds."""
+    if rate_per_s <= 0:
+        raise ValueError(f"arrival rate must be positive, got {rate_per_s}")
+    gap_s = rng.expovariate(rate_per_s)
+    return max(int(gap_s * 1e9), 1)
+
+
+def poisson_arrival_times_ns(
+    rng: random.Random,
+    rate_per_s: float,
+    duration_ns: int,
+    start_ns: int = 0,
+) -> List[int]:
+    """All arrival instants of a Poisson process over a window."""
+    times: List[int] = []
+    t = start_ns
+    while True:
+        t += exponential_interarrival_ns(rng, rate_per_s)
+        if t >= start_ns + duration_ns:
+            return times
+        times.append(t)

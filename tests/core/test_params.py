@@ -1,0 +1,49 @@
+"""Validation tests for TfcParams."""
+
+import pytest
+
+from repro.core.params import DEFAULT_PARAMS, TfcParams
+
+
+def test_defaults_match_paper():
+    assert DEFAULT_PARAMS.rho0 == 0.97
+    assert DEFAULT_PARAMS.alpha == 7 / 8
+    assert DEFAULT_PARAMS.init_rttb_ns == 160_000
+    assert DEFAULT_PARAMS.min_rtt_frame_bytes == 1500
+    assert DEFAULT_PARAMS.max_delimiter_miss == 7
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_PARAMS.rho0 = 0.5  # type: ignore[misc]
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"rho0": 0.0},
+        {"rho0": 1.5},
+        {"alpha": 1.0},
+        {"alpha": -0.1},
+        {"init_rttb_ns": 0},
+        {"rho_floor": 0.0},
+        {"rho_floor": 1.0},
+        {"token_adjustment": "bogus"},
+        {"min_token_bdp_factor": 0.0},
+        {"min_token_bdp_factor": 1.5},
+        {"max_token_bdp_factor": 0.5},
+        {"delay_queue_limit": 0},
+        {"rttb_refresh_slots": 0},
+        {"token_boost_limit": 0.9},
+    ],
+)
+def test_invalid_values_rejected(kwargs):
+    with pytest.raises(ValueError):
+        TfcParams(**kwargs)
+
+
+def test_valid_customisation():
+    params = TfcParams(rho0=0.9, token_adjustment="eq7", queue_drain=False)
+    assert params.rho0 == 0.9
+    assert params.token_adjustment == "eq7"
+    assert not params.queue_drain

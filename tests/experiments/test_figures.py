@@ -1,0 +1,137 @@
+"""Smoke tests for every per-figure experiment driver, at miniature scale.
+
+These assert the *shape* each paper figure reports, not absolute numbers:
+they are the fast versions of the full benchmarks in ``benchmarks/``.
+"""
+
+import pytest
+
+from repro.experiments import (
+    run_benchmark,
+    run_fig06,
+    run_fig07,
+    run_fig11,
+    run_incast_point,
+    run_rho_point,
+    run_staggered_flows,
+)
+
+
+@pytest.fixture(scope="module")
+def staggered():
+    """Shared Figs. 8-10 runs (one per protocol, reused by three tests)."""
+    return {
+        proto: run_staggered_flows(proto, interval_s=0.08, tail_s=0.15)
+        for proto in ("tfc", "dctcp", "tcp")
+    }
+
+
+def test_fig06_rttb_below_reference():
+    result = run_fig06(duration_s=1.0, sample_interval_s=0.2)
+    assert len(result.rttb_samples_us) >= 4
+    assert len(result.reference_samples_us) > 100
+    # rtt_b excludes host processing jitter: strictly below the reference.
+    assert 0 < result.gap_us < 60
+    rttb_cdf, ref_cdf = result.cdfs()
+    assert rttb_cdf and ref_cdf
+
+
+def test_fig07_effective_flow_tracking():
+    result = run_fig07(n1_max=4, n2=3, step_s=0.03, settle_s=0.15)
+    assert len(result.samples) > 20
+    # Baseline before the ramp: exactly the steady flows.
+    baseline = [m for t, m, _ in result.samples if t < 0.15]
+    assert baseline and abs(baseline[0] - 3) <= 1
+    # The count rises during the ramp and falls back as flows go silent.
+    peak = max(m for _, m, _ in result.samples)
+    tail = [m for _, m, _ in result.samples][-3:]
+    assert peak >= 4
+    assert max(tail) <= peak
+
+
+def test_fig08_queue_ordering(staggered):
+    """TFC << DCTCP << TCP on queue occupancy."""
+    tfc = staggered["tfc"].queue_mean_bytes(int(0.05e9))
+    dctcp = staggered["dctcp"].queue_mean_bytes(int(0.05e9))
+    tcp = staggered["tcp"].queue_mean_bytes(int(0.05e9))
+    assert tfc < dctcp < tcp
+    assert staggered["tfc"].queue_max_bytes() < 40_000
+    assert staggered["tcp"].queue_max_bytes() > 200_000
+
+
+def test_fig09_fairness_and_goodput(staggered):
+    for proto in ("tfc", "dctcp"):
+        assert staggered[proto].steady_state_fairness() > 0.95
+    assert staggered["tfc"].aggregate_goodput_bps() > 0.8e9
+    assert staggered["tfc"].drops == 0
+
+
+def test_fig10_convergence_ordering(staggered):
+    tfc = staggered["tfc"].convergence_ns(2, 1e9)
+    tcp = staggered["tcp"].convergence_ns(2, 1e9)
+    assert tfc is not None
+    assert tcp is None or tfc <= tcp
+
+
+def test_fig11_work_conserving():
+    result = run_fig11(duration_s=0.4)
+    assert result.s1_goodput_bps() > 0.85e9
+    assert result.s2_goodput_bps() > 0.85e9
+    assert result.s2_queue_mean_bytes() < 10_000
+    assert result.drops == 0
+
+
+def test_fig12_incast_point_tfc_vs_tcp():
+    tfc = run_incast_point("tfc", 30, rounds=2)
+    tcp = run_incast_point("tcp", 30, rounds=2)
+    assert tfc.drops == 0
+    assert tfc.max_timeouts_per_block == 0
+    assert tcp.drops > 0
+    assert tfc.queue_max_bytes < tcp.queue_max_bytes
+
+
+def test_fig13_benchmark_fct_ordering():
+    results = {
+        proto: run_benchmark(
+            proto, scale="testbed", duration_s=0.6, drain_s=0.4,
+            query_rate_per_s=400, query_fanin=8,
+        )
+        for proto in ("tfc", "tcp")
+    }
+    assert results["tfc"].completion_fraction() == 1.0
+    tfc_q = results["tfc"].query_summary_us()
+    tcp_q = results["tcp"].query_summary_us()
+    # At light load TCP's mean can edge out TFC (TFC pays the acquisition
+    # round); the paper's decisive gap is in the congested tail.
+    assert tfc_q["p99"] < tcp_q["p99"]
+    assert tfc_q["p99.99"] < tcp_q["p99.99"]
+    assert results["tfc"].drops == 0
+
+
+def test_fig14_rho_point():
+    low = run_rho_point(0.90, duration_s=0.3)
+    high = run_rho_point(1.00, duration_s=0.3)
+    assert low.drops == high.drops == 0
+    assert high.goodput_bps >= low.goodput_bps
+    assert high.queue_mean_bytes >= low.queue_mean_bytes
+
+
+def test_fig15_large_scale_point():
+    point = run_incast_point(
+        "tfc", 60, block_bytes=64_000, rounds=2,
+        rate_bps=10_000_000_000, buffer_bytes=512_000,
+    )
+    assert point.rounds_completed == 2
+    assert point.drops == 0
+    assert point.max_timeouts_per_block == 0
+
+
+def test_fig16_large_benchmark_smoke():
+    result = run_benchmark(
+        "tfc", scale="large", duration_s=0.1, drain_s=0.3,
+        query_rate_per_s=60, query_fanin=20,
+        short_rate_per_s=10, background_rate_per_s=10,
+    )
+    assert result.completion_fraction() > 0.9
+    assert result.drops == 0
+    assert result.query_summary_us()["mean"] > 0

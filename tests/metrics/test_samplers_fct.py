@@ -1,0 +1,126 @@
+"""Tests for samplers and FCT collection."""
+
+import pytest
+
+from repro.metrics.fct import FctCollector, bucket_for_size
+from repro.metrics.samplers import (
+    PeriodicSampler,
+    QueueSampler,
+    RateSampler,
+    convergence_time_ns,
+)
+from repro.net.topology import dumbbell
+from repro.sim.engine import Simulator
+from repro.sim.units import microseconds, seconds
+from repro.transport.registry import open_flow
+
+
+# ----------------------------------------------------------------------
+# Samplers
+# ----------------------------------------------------------------------
+def test_rate_sampler_differentiates_counter():
+    sim = Simulator()
+    counter = {"bytes": 0}
+
+    def feed():
+        counter["bytes"] += 12_500  # 12.5 kB per 100 us = 1 Gbps
+        sim.schedule(microseconds(100), feed)
+
+    sampler = RateSampler(sim, lambda: counter["bytes"], microseconds(100))
+    sim.schedule(0, feed)
+    sim.run(until_ns=microseconds(1000))
+    # First sample has no baseline; the rest read 1 Gbps.
+    for _, rate in sampler.series[1:]:
+        assert rate == pytest.approx(1e9)
+
+
+def test_sampler_stop():
+    sim = Simulator()
+    sampler = RateSampler(sim, lambda: 0, microseconds(10))
+    sim.run(until_ns=microseconds(55))
+    sampler.stop()
+    count = len(sampler.series)
+    sim.run(until_ns=microseconds(200))
+    assert len(sampler.series) == count
+
+
+def test_sampler_rejects_bad_interval():
+    with pytest.raises(ValueError):
+        RateSampler(Simulator(), lambda: 0, 0)
+
+
+def test_queue_sampler_tracks_port():
+    topo = dumbbell(n_senders=2)
+    receiver = topo.hosts[-1]
+    sampler = QueueSampler(topo.sim, topo.bottleneck("main"), microseconds(50))
+    for host in topo.hosts[:2]:
+        open_flow(host, receiver, "tcp")
+    topo.network.run_for(seconds(0.05))
+    assert sampler.max() > 0
+    assert sampler.mean() >= 0
+    assert len(sampler.series) > 500
+
+
+def test_convergence_time_detection():
+    series = [(i * 1000, 100.0 if i < 5 else 1000.0) for i in range(20)]
+    assert convergence_time_ns(series, target=1000.0, tolerance=0.1) == 5000
+
+
+def test_convergence_requires_hold():
+    # A single spike must not count as convergence.
+    series = [(0, 0.0), (1000, 1000.0), (2000, 0.0), (3000, 0.0)]
+    assert convergence_time_ns(series, target=1000.0) is None
+
+
+def test_convergence_rejects_bad_target():
+    with pytest.raises(ValueError):
+        convergence_time_ns([], target=0)
+
+
+# ----------------------------------------------------------------------
+# FCT collection
+# ----------------------------------------------------------------------
+def test_bucket_boundaries():
+    assert bucket_for_size(500) == "<1KB"
+    assert bucket_for_size(1_000) == "1-10KB"
+    assert bucket_for_size(50_000) == "10KB-100KB"
+    assert bucket_for_size(500_000) == "100KB-1MB"
+    assert bucket_for_size(5_000_000) == "1-10MB"
+    assert bucket_for_size(50_000_000) == ">10MB"
+
+
+def test_collector_end_to_end():
+    topo = dumbbell(n_senders=3)
+    receiver = topo.hosts[-1]
+    collector = FctCollector()
+    sizes = [2_000, 40_000, 2_000_000]
+    for host, size in zip(topo.hosts[:3], sizes):
+        collector.expect()
+        open_flow(
+            host, receiver, "tcp", size_bytes=size,
+            on_complete=collector.completion_handler("background"),
+        )
+    topo.network.run_for(seconds(2))
+    assert collector.completed("background") == 3
+    assert collector.pending == 0
+    buckets = collector.bucketed_p999_us("background")
+    assert set(buckets) == {"1-10KB", "10KB-100KB", "1-10MB"}
+    # Bigger flows take longer at their tail.
+    assert buckets["1-10KB"] < buckets["1-10MB"]
+    summary = collector.tail_summary_us("background")
+    assert summary["mean"] > 0
+
+
+def test_collector_categories_are_separate():
+    collector = FctCollector()
+    from repro.metrics.fct import FctRecord
+
+    collector.records.append(FctRecord("query", 2000, 100_000, 0))
+    collector.records.append(FctRecord("background", 2000, 900_000, 2))
+    assert collector.fcts_us("query") == [100.0]
+    assert collector.fcts_us("background") == [900.0]
+    assert len(collector.fcts_us()) == 2
+    assert collector.total_timeouts("background") == 2
+    assert collector.total_timeouts() == 2
+    with pytest.raises(ValueError):
+        collector.tail_summary_us("missing")

@@ -1,0 +1,173 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    sim = Simulator()
+    assert sim.now == 0
+    assert sim.now_seconds == 0.0
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    log = []
+    sim.schedule(30, log.append, "c")
+    sim.schedule(10, log.append, "a")
+    sim.schedule(20, log.append, "b")
+    sim.run()
+    assert log == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo():
+    sim = Simulator()
+    log = []
+    for tag in range(10):
+        sim.schedule(5, log.append, tag)
+    sim.run()
+    assert log == list(range(10))
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(42, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [42]
+    assert sim.now == 42
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-1, lambda: None)
+    sim.schedule(10, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    log = []
+    event = sim.schedule(10, log.append, "x")
+    sim.schedule(5, event.cancel)
+    sim.run()
+    assert log == []
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    event = sim.schedule(10, lambda: None)
+    event.cancel()
+    event.cancel()
+    sim.run()
+    assert sim.events_processed == 0
+
+
+def test_run_until_is_inclusive_and_advances_clock():
+    sim = Simulator()
+    log = []
+    sim.schedule(100, log.append, "at-horizon")
+    sim.schedule(101, log.append, "beyond")
+    processed = sim.run(until_ns=100)
+    assert log == ["at-horizon"]
+    assert processed == 1
+    assert sim.now == 100  # clock parked at the horizon
+
+
+def test_run_until_leaves_future_events_runnable():
+    sim = Simulator()
+    log = []
+    sim.schedule(50, log.append, 1)
+    sim.schedule(150, log.append, 2)
+    sim.run(until_ns=100)
+    sim.run(until_ns=200)
+    assert log == [1, 2]
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    sim.run_for(100)
+    assert sim.now == 100
+    sim.schedule(10, lambda: None)
+    sim.run_for(100)
+    assert sim.now == 200
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    log = []
+
+    def chain(n):
+        log.append(n)
+        if n < 5:
+            sim.schedule(10, chain, n + 1)
+
+    sim.schedule(0, chain, 0)
+    sim.run()
+    assert log == [0, 1, 2, 3, 4, 5]
+    assert sim.now == 50
+
+
+def test_max_events_bound():
+    sim = Simulator()
+
+    def forever():
+        sim.schedule(1, forever)
+
+    sim.schedule(0, forever)
+    processed = sim.run(max_events=100)
+    assert processed == 100
+
+
+def test_not_reentrant():
+    sim = Simulator()
+    errors = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    sim.schedule(0, reenter)
+    sim.run()
+    assert len(errors) == 1
+
+
+def test_pending_events_counts_live_only():
+    sim = Simulator()
+    sim.schedule(10, lambda: None)
+    dead = sim.schedule(20, lambda: None)
+    dead.cancel()
+    assert sim.pending_events == 1
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+def test_property_execution_order_is_sorted(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=30),
+    st.integers(min_value=0, max_value=1000),
+)
+def test_property_run_until_never_executes_beyond_horizon(delays, horizon):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run(until_ns=horizon)
+    assert all(t <= horizon for t in fired)
+    assert len(fired) == sum(1 for d in delays if d <= horizon)

@@ -1,0 +1,145 @@
+"""Unit tests for seeding, tracing, and unit conversion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import SeedSequence
+from repro.sim.trace import Tracer
+from repro.sim import units
+
+
+# ----------------------------------------------------------------------
+# SeedSequence
+# ----------------------------------------------------------------------
+def test_same_seed_same_stream():
+    a = SeedSequence(7).stream("workload")
+    b = SeedSequence(7).stream("workload")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_different_names_independent():
+    seq = SeedSequence(7)
+    a = seq.stream("a")
+    b = seq.stream("b")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_stream_is_cached():
+    seq = SeedSequence(0)
+    assert seq.stream("x") is seq.stream("x")
+
+
+def test_construction_order_does_not_matter():
+    seq1 = SeedSequence(3)
+    first = seq1.stream("alpha").random()
+    seq2 = SeedSequence(3)
+    seq2.stream("beta")  # created before alpha this time
+    assert seq2.stream("alpha").random() == first
+
+
+def test_spawn_derives_independent_child():
+    parent = SeedSequence(1)
+    child = parent.spawn("sub")
+    assert child.root_seed != parent.root_seed
+    assert parent.spawn("sub").root_seed == child.root_seed
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+def test_emit_counts_without_handlers():
+    tracer = Tracer()
+    tracer.emit("topic")
+    tracer.emit("topic")
+    assert tracer.count("topic") == 2
+    assert tracer.count("other") == 0
+
+
+def test_handlers_receive_kwargs():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe("t", lambda value=None: got.append(value))
+    tracer.emit("t", value=42)
+    assert got == [42]
+
+
+def test_unsubscribe():
+    tracer = Tracer()
+    got = []
+    handler = got.append
+    tracer.subscribe("t", handler)
+    tracer.unsubscribe("t", handler)
+    tracer.emit("t", 1)
+    assert got == []
+
+
+def test_multiple_handlers_all_called():
+    tracer = Tracer()
+    got = []
+    tracer.subscribe("t", lambda: got.append("a"))
+    tracer.subscribe("t", lambda: got.append("b"))
+    tracer.emit("t")
+    assert got == ["a", "b"]
+
+
+def test_reset_clears_counters():
+    tracer = Tracer()
+    tracer.emit("t")
+    tracer.reset()
+    assert tracer.count("t") == 0
+
+
+# ----------------------------------------------------------------------
+# Units
+# ----------------------------------------------------------------------
+def test_time_conversions_round_trip():
+    assert units.seconds(1.5) == 1_500_000_000
+    assert units.milliseconds(2) == 2_000_000
+    assert units.microseconds(3) == 3_000
+    assert units.to_seconds(units.seconds(0.25)) == pytest.approx(0.25)
+    assert units.to_microseconds(units.microseconds(7)) == pytest.approx(7)
+
+
+def test_rate_constructors():
+    assert units.gbps(1) == 1_000_000_000
+    assert units.mbps(100) == 100_000_000
+
+
+def test_transmission_time_exact():
+    # 1500 bytes at 1 Gbps = 12 us exactly.
+    assert units.transmission_time_ns(1500, units.gbps(1)) == 12_000
+
+
+def test_transmission_time_rounds_up():
+    # 1 byte at 3 bits/ns-ish rates must not round to zero.
+    assert units.transmission_time_ns(1, 999_999_999_999) >= 1
+
+
+def test_transmission_time_rejects_bad_rate():
+    with pytest.raises(ValueError):
+        units.transmission_time_ns(100, 0)
+
+
+def test_bandwidth_delay_product():
+    # 1 Gbps x 80 us = 10 KB.
+    assert units.bandwidth_delay_product(units.gbps(1), units.microseconds(80)) == pytest.approx(10_000)
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=1_000_000, max_value=100_000_000_000),
+)
+def test_property_transmission_never_faster_than_line_rate(size, rate):
+    tx = units.transmission_time_ns(size, rate)
+    # Sending `size` bytes in tx ns must not exceed the line rate.
+    assert units.bytes_in_interval(rate, tx) >= size - 1e-9
+
+
+@given(
+    st.integers(min_value=1, max_value=10_000),
+    st.integers(min_value=1_000_000, max_value=100_000_000_000),
+)
+def test_property_transmission_within_one_ns_of_exact(size, rate):
+    tx = units.transmission_time_ns(size, rate)
+    exact = size * 8 * units.SECOND / rate
+    assert exact <= tx < exact + 1

@@ -1,0 +1,96 @@
+"""Unit tests for restartable timers."""
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda: log.append(sim.now))
+    timer.start(100)
+    sim.run()
+    assert log == [100]
+    assert not timer.running
+
+
+def test_timer_restart_replaces_deadline():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda: log.append(sim.now))
+    timer.start(100)
+    sim.schedule(50, timer.start, 100)  # push back to 150
+    sim.run()
+    assert log == [150]
+
+
+def test_timer_stop():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, log.append, name="t")
+    timer.start(100, "fired")
+    sim.schedule(10, timer.stop)
+    sim.run()
+    assert log == []
+
+
+def test_timer_stop_idempotent():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    timer.stop()
+    timer.stop()
+    assert not timer.running
+
+
+def test_start_if_idle_does_not_replace():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda: log.append(sim.now))
+    timer.start(100)
+    timer.start_if_idle(10)  # ignored: already armed
+    sim.run()
+    assert log == [100]
+
+
+def test_start_if_idle_arms_when_idle():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda: log.append(sim.now))
+    timer.start_if_idle(10)
+    sim.run()
+    assert log == [10]
+
+
+def test_timer_forwards_arguments():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda a, b: log.append((a, b)))
+    timer.start(5, "x", 2)
+    sim.run()
+    assert log == [("x", 2)]
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    log = []
+    timer = Timer(sim, lambda: None)
+
+    def tick():
+        log.append(sim.now)
+        if len(log) < 3:
+            timer.start(10)
+
+    timer = Timer(sim, tick)
+    timer.start(10)
+    sim.run()
+    assert log == [10, 20, 30]
+
+
+def test_expiry_property():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.expiry is None
+    timer.start(100)
+    assert timer.expiry == 100
+    timer.stop()
+    assert timer.expiry is None

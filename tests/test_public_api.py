@@ -1,0 +1,44 @@
+"""The documented public API stays importable and coherent."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_from_package_docstring():
+    """The exact snippet in repro.__doc__ must run."""
+    from repro.net import dumbbell
+    from repro.transport import configure_network, open_flow
+    from repro.sim.units import seconds
+
+    topo = dumbbell(n_senders=4)
+    configure_network(topo.network, "tfc")
+    flows = [open_flow(h, topo.hosts[-1], "tfc") for h in topo.hosts[:4]]
+    topo.network.run_for(seconds(0.05))
+    assert sum(f.stats.bytes_acked for f in flows) > 0
+
+
+def test_top_level_namespaces():
+    from repro import core, experiments, metrics, net, sim, transport, workloads
+
+    assert core.TfcParams
+    assert net.Packet and net.dumbbell
+    assert sim.Simulator
+    assert transport.open_flow and transport.PROTOCOLS is not None
+    assert workloads.IncastCoordinator
+    assert metrics.FctCollector
+    assert experiments.run_fig12
+
+
+def test_protocol_registry_contents():
+    from repro.transport import get_protocol
+
+    for name in ("tcp", "dctcp", "tfc"):
+        spec = get_protocol(name)
+        assert spec.name == name
+    import pytest
+
+    with pytest.raises(ValueError):
+        get_protocol("quic")

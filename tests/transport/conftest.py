@@ -1,0 +1,19 @@
+"""Shared fixtures for transport tests: a tiny deterministic network."""
+
+import pytest
+
+from repro.net.network import Network
+from repro.sim.units import GBPS, microseconds
+
+
+@pytest.fixture
+def tiny_net():
+    """Two hosts joined by one switch; no host jitter for exact timing."""
+    net = Network(seed=0, host_processing_delay_ns=1_000, host_processing_jitter_ns=0)
+    a = net.add_host("A")
+    b = net.add_host("B")
+    sw = net.add_switch("SW")
+    net.cable(a, sw, GBPS, microseconds(5))
+    net.cable(b, sw, GBPS, microseconds(5))
+    net.build_routes()
+    return net, a, b, sw

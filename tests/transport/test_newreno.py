@@ -1,0 +1,137 @@
+"""Tests for NewReno congestion control, driven by crafted ACKs."""
+
+from repro.net.packet import MSS, Packet
+from repro.sim.units import MILLISECOND, seconds
+from repro.transport.base import FlowState
+from repro.transport.newreno import DUPACK_THRESHOLD, NewRenoSender
+from repro.transport.registry import open_flow
+
+
+def established_sender(tiny_net, size=None):
+    net, a, b, _ = tiny_net
+    sender = open_flow(a, b, "tcp", size_bytes=size)
+    net.run_for(100_000)  # handshake done, data flowing
+    assert sender.state is FlowState.ESTABLISHED or sender.state is FlowState.DONE
+    return net, sender
+
+
+def ack_for(sender, ack, echo=False):
+    pkt = Packet(
+        sender.dst_id, sender.src_id, sender.dport, sender.sport,
+        ack=ack, is_ack=True,
+    )
+    pkt.ecn_echo = echo
+    pkt.retransmitted = True  # suppress RTT sampling for determinism
+    pkt.sent_at = None
+    return pkt
+
+
+def test_initial_window_is_two_segments(tiny_net):
+    net, a, b, _ = tiny_net
+    sender = open_flow(a, b, "tcp")
+    assert sender.cwnd == 2 * MSS
+
+
+def test_slow_start_doubles_per_rtt(tiny_net):
+    net, sender = established_sender(tiny_net)
+    # In slow start cwnd grows by one MSS per acked MSS.
+    before = sender.cwnd
+    sender.on_packet(ack_for(sender, sender.snd_una + MSS))
+    assert sender.cwnd == before + MSS
+
+
+def test_congestion_avoidance_linear(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.ssthresh = sender.cwnd  # force CA
+    before = sender.cwnd
+    sender.on_packet(ack_for(sender, sender.snd_una + MSS))
+    growth = sender.cwnd - before
+    assert 0 < growth <= MSS * MSS / before + 1
+
+
+def test_triple_dupack_triggers_fast_retransmit(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.cwnd = 20 * MSS
+    net.run_for(20_000)  # fill the window
+    assert sender.flight_size > 3 * MSS
+    before_rtx = sender.stats.retransmissions
+    for _ in range(DUPACK_THRESHOLD):
+        sender.on_packet(ack_for(sender, sender.snd_una))
+    assert sender.in_recovery
+    assert sender.stats.fast_retransmits == 1
+    assert sender.stats.retransmissions == before_rtx + 1
+    # ssthresh halved relative to flight, cwnd inflated by 3 MSS.
+    assert sender.ssthresh >= 2 * MSS
+
+
+def test_dupacks_inflate_window_during_recovery(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.cwnd = 20 * MSS
+    net.run_for(20_000)
+    for _ in range(DUPACK_THRESHOLD):
+        sender.on_packet(ack_for(sender, sender.snd_una))
+    inflated = sender.cwnd
+    sender.on_packet(ack_for(sender, sender.snd_una))
+    assert sender.cwnd == inflated + MSS
+
+
+def test_full_ack_exits_recovery_at_ssthresh(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.cwnd = 20 * MSS
+    net.run_for(20_000)
+    for _ in range(DUPACK_THRESHOLD):
+        sender.on_packet(ack_for(sender, sender.snd_una))
+    recovery_point = sender._recovery_high
+    sender.on_packet(ack_for(sender, recovery_point))
+    assert not sender.in_recovery
+    assert sender.cwnd == sender.ssthresh
+
+
+def test_partial_ack_stays_in_recovery(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.cwnd = 20 * MSS
+    net.run_for(20_000)
+    for _ in range(DUPACK_THRESHOLD):
+        sender.on_packet(ack_for(sender, sender.snd_una))
+    rtx_before = sender.stats.retransmissions
+    sender.on_packet(ack_for(sender, sender.snd_una + MSS))  # partial
+    assert sender.in_recovery
+    assert sender.stats.retransmissions == rtx_before + 1  # next hole resent
+
+
+def test_timeout_resets_to_one_segment(tiny_net):
+    net, sender = established_sender(tiny_net)
+    sender.cwnd = 20 * MSS
+    sender.on_timeout()
+    assert sender.cwnd == MSS
+    assert not sender.in_recovery
+
+
+def test_two_tcp_flows_share_a_bottleneck_and_finish():
+    from repro.net.topology import dumbbell
+    from repro.transport.registry import open_flow as open_
+
+    topo = dumbbell(n_senders=2)
+    receiver = topo.hosts[-1]
+    flows = [
+        open_(host, receiver, "tcp", size_bytes=2_000_000)
+        for host in topo.hosts[:2]
+    ]
+    topo.network.run_for(seconds(3))
+    for flow in flows:
+        assert flow.state is FlowState.DONE
+        assert flow.stats.bytes_acked == 2_000_000
+
+
+def test_tcp_fills_buffer_and_drops():
+    """The Fig. 8 TCP behaviour: loss-driven, queue pinned at capacity."""
+    from repro.net.topology import dumbbell
+
+    topo = dumbbell(n_senders=2, buffer_bytes=64_000)
+    receiver = topo.hosts[-1]
+    for host in topo.hosts[:2]:
+        open_flow(host, receiver, "tcp")
+    topo.network.run_for(seconds(0.5))
+    bottleneck = topo.bottleneck("main").queue
+    assert bottleneck.drops > 0
+    assert bottleneck.max_bytes_seen > 0.9 * 64_000

@@ -1,0 +1,63 @@
+"""Unit tests for the RFC 6298 RTO estimator."""
+
+from hypothesis import given, strategies as st
+
+from repro.sim.units import MILLISECOND, SECOND, microseconds
+from repro.transport.base import RtoEstimator
+
+
+def test_first_sample_initialises_srtt():
+    rto = RtoEstimator(min_rto_ns=MILLISECOND)
+    rto.sample(microseconds(100))
+    assert rto.srtt == microseconds(100)
+    assert rto.rttvar == microseconds(50)
+
+
+def test_rto_respects_minimum():
+    rto = RtoEstimator(min_rto_ns=10 * MILLISECOND)
+    rto.sample(microseconds(100))  # srtt + 4*var << min_rto
+    assert rto.current_rto_ns == 10 * MILLISECOND
+
+
+def test_rto_tracks_large_rtts():
+    rto = RtoEstimator(min_rto_ns=MILLISECOND)
+    for _ in range(20):
+        rto.sample(50 * MILLISECOND)
+    assert rto.current_rto_ns >= 50 * MILLISECOND
+
+
+def test_backoff_doubles_and_sample_resets():
+    rto = RtoEstimator(min_rto_ns=10 * MILLISECOND)
+    rto.sample(microseconds(100))
+    base = rto.current_rto_ns
+    rto.backoff()
+    assert rto.current_rto_ns == 2 * base
+    rto.backoff()
+    assert rto.current_rto_ns == 4 * base
+    rto.sample(microseconds(100))
+    assert rto.current_rto_ns == base
+
+
+def test_backoff_capped_at_max():
+    rto = RtoEstimator(min_rto_ns=SECOND, max_rto_ns=4 * SECOND)
+    for _ in range(10):
+        rto.backoff()
+    assert rto.current_rto_ns == 4 * SECOND
+
+
+def test_smoothing_converges():
+    rto = RtoEstimator(min_rto_ns=1)
+    for _ in range(100):
+        rto.sample(microseconds(200))
+    assert abs(rto.srtt - microseconds(200)) < microseconds(1)
+    assert rto.rttvar < microseconds(1)
+
+
+@given(st.lists(st.integers(min_value=1_000, max_value=100 * MILLISECOND), min_size=1, max_size=50))
+def test_property_rto_always_within_bounds(samples):
+    rto = RtoEstimator(min_rto_ns=MILLISECOND, max_rto_ns=SECOND)
+    for value in samples:
+        rto.sample(value)
+        assert MILLISECOND <= rto.current_rto_ns <= SECOND
+        assert rto.srtt is not None
+        assert min(samples) / 2 <= rto.srtt <= max(samples) * 2

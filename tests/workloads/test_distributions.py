@@ -1,0 +1,98 @@
+"""Tests for empirical distributions and Poisson arrivals."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.workloads.distributions import (
+    SHORT_MESSAGE_SIZES,
+    WEB_SEARCH_FLOW_SIZES,
+    PiecewiseCdf,
+    exponential_interarrival_ns,
+    poisson_arrival_times_ns,
+)
+
+
+def test_quantile_endpoints():
+    cdf = PiecewiseCdf([(10.0, 0.5), (100.0, 1.0)])
+    assert cdf.quantile(0.0) == 10.0
+    assert cdf.quantile(0.5) == 10.0
+    assert cdf.quantile(1.0) == 100.0
+
+
+def test_quantile_interpolates_geometrically():
+    cdf = PiecewiseCdf([(10.0, 0.5), (1000.0, 1.0)])
+    mid = cdf.quantile(0.75)
+    assert mid == pytest.approx(100.0)  # geometric midpoint
+
+
+def test_linear_interpolation_mode():
+    cdf = PiecewiseCdf([(0.001, 0.0), (100.0, 1.0)], log_interp=False)
+    assert cdf.quantile(0.5) == pytest.approx(50.0, rel=0.01)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(10.0, 1.0)])  # too few points
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(10.0, 0.5), (5.0, 1.0)])  # values not increasing
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(1.0, 0.7), (2.0, 0.6)])  # probs not increasing
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(1.0, 0.5), (2.0, 0.9)])  # does not reach 1
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(0.0, 0.5), (2.0, 1.0)])  # log interp needs positive
+    with pytest.raises(ValueError):
+        PiecewiseCdf([(1.0, 0.5), (2.0, 1.0)]).quantile(1.5)
+
+
+def test_web_search_distribution_is_heavy_tailed():
+    cdf = WEB_SEARCH_FLOW_SIZES
+    assert cdf.quantile(0.5) <= 50_000        # median is a mouse
+    assert cdf.quantile(0.99) >= 5_000_000    # tail is elephants
+    # Most *bytes* come from the tail: mean far above median.
+    assert cdf.mean() > 10 * cdf.quantile(0.5)
+
+
+def test_short_message_range():
+    assert SHORT_MESSAGE_SIZES.quantile(0.0) >= 50_000
+    assert SHORT_MESSAGE_SIZES.quantile(1.0) <= 1_000_000
+
+
+def test_sampling_is_deterministic_per_seed():
+    a = [WEB_SEARCH_FLOW_SIZES.sample(random.Random(1)) for _ in range(5)]
+    b = [WEB_SEARCH_FLOW_SIZES.sample(random.Random(1)) for _ in range(5)]
+    assert a == b
+
+
+def test_exponential_interarrival_positive():
+    rng = random.Random(0)
+    gaps = [exponential_interarrival_ns(rng, 1000.0) for _ in range(100)]
+    assert all(g >= 1 for g in gaps)
+    # Mean gap ~ 1 ms for 1000/s.
+    assert 0.3e6 < sum(gaps) / len(gaps) < 3e6
+    with pytest.raises(ValueError):
+        exponential_interarrival_ns(rng, 0)
+
+
+def test_poisson_arrivals_sorted_within_window():
+    rng = random.Random(42)
+    times = poisson_arrival_times_ns(rng, 10_000.0, duration_ns=10**9, start_ns=500)
+    assert times == sorted(times)
+    assert all(500 < t < 10**9 + 500 for t in times)
+    # ~10k arrivals expected over 1 s at 10k/s.
+    assert 9_000 < len(times) < 11_000
+
+
+@given(st.floats(min_value=0.0, max_value=1.0))
+def test_property_quantile_within_support(p):
+    value = WEB_SEARCH_FLOW_SIZES.quantile(p)
+    assert 1_000 <= value <= 20_000_000
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1), min_size=2, max_size=20))
+def test_property_quantile_monotone(ps):
+    ordered = sorted(ps)
+    values = [WEB_SEARCH_FLOW_SIZES.quantile(p) for p in ordered]
+    assert values == sorted(values)
