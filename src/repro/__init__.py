@@ -5,8 +5,9 @@ The package bundles a packet-level discrete-event network simulator
 (:mod:`repro.sim`, :mod:`repro.net`), the TCP NewReno and DCTCP baselines
 (:mod:`repro.transport`), the TFC protocol itself (:mod:`repro.core`),
 workload generators (:mod:`repro.workloads`), measurement utilities
-(:mod:`repro.metrics`) and one driver per paper figure
-(:mod:`repro.experiments`).
+(:mod:`repro.metrics`), deterministic fault injection with runtime
+invariant monitoring (:mod:`repro.faults`) and one driver per paper
+figure plus chaos scenarios (:mod:`repro.experiments`).
 
 Quickstart::
 

@@ -9,7 +9,7 @@ the standard checks used across figures (ordering, factor, flatness).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 
 @dataclass

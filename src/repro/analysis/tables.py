@@ -7,7 +7,7 @@ a result can be shown either way.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 
 def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:

@@ -62,6 +62,24 @@ class DelayArbiter:
         self.dropped_acks = 0
 
     # ------------------------------------------------------------------
+    def reset(self, cap_bytes: Optional[float] = None) -> None:
+        """Forget all state, as after a switch reboot (fault injection).
+
+        Parked ACKs are lost with the rest of the port state — their
+        senders recover through probe retries or RTO, which is exactly the
+        recovery path a chaos run wants to exercise.  Credit restarts at
+        the boot value of one MSS.
+        """
+        self.dropped_acks += len(self._queue)
+        self._queue.clear()
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+        self.credit = float(self.mss)
+        self._last_update_ns = self._sim.now
+        if cap_bytes is not None:
+            self.set_cap(cap_bytes)
+
     def set_cap(self, cap_bytes: float) -> None:
         """Track the port's current token value (cap >= 2 MSS always)."""
         self.cap = max(cap_bytes, 2.0 * self.mss)

@@ -111,6 +111,40 @@ class TfcPortAgent:
         self.delay_arbiter.set_cap(self.tokens)
 
     # ------------------------------------------------------------------
+    # Fault hook: state reset (switch reboot)
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Wipe every learned quantity, as if the port's agent rebooted.
+
+        RTT estimates restart from the configured initial value, the
+        delimiter is forgotten (the next RM packet is elected), the token
+        value restarts from the initial BDP, and the delay arbiter drops
+        its parked ACKs with the rest of the state.  Everything must be
+        re-learned from live traffic — the recovery path chaos runs
+        measure.
+        """
+        params = self.params
+        self.rttb_ns = params.init_rttb_ns
+        self.rttm_ns = params.init_rttb_ns
+        self.rtt_last_ns = params.init_rttb_ns
+        self._slots_until_rttb_refresh = params.rttb_refresh_slots
+        self.delimiter_key = None
+        self._delimiter_weight = 1
+        self.slot_start_ns = self.sim.now
+        self.miss_count = 0
+        self._slots_since_election = 0
+        self.effective_flows = 1
+        self.arrived_bytes = 0
+        self.e_smooth = 1.0
+        self.granted_bytes = 0.0
+        self.tokens = bandwidth_delay_product(self.rate_bps, self.rttb_ns)
+        self.window = self.tokens
+        self.slot_index = 0
+        self.last_rho = params.rho0
+        self.published_e = 1
+        self.delay_arbiter.reset(self.tokens)
+
+    # ------------------------------------------------------------------
     # Forward (data) direction
     # ------------------------------------------------------------------
     def on_transit(self, packet: Packet) -> None:

@@ -1,5 +1,6 @@
 """Experiment drivers — one module per paper figure (see DESIGN.md §4)."""
 
+from .chaos import FAULT_KINDS, ChaosResult, run_all, run_chaos
 from .common import ALL_PROTOCOLS, PROTOCOL_LABELS, build_topology, format_table
 from .fig06_rttb import RttbResult, run_fig06
 from .fig07_ne import NeResult, run_fig07
@@ -14,6 +15,10 @@ __all__ = [
     "PROTOCOL_LABELS",
     "build_topology",
     "format_table",
+    "FAULT_KINDS",
+    "ChaosResult",
+    "run_all",
+    "run_chaos",
     "RttbResult",
     "run_fig06",
     "NeResult",

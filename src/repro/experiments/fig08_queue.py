@@ -18,7 +18,7 @@ in EXPERIMENTS.md).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..metrics.samplers import QueueSampler, RateSampler, Series, convergence_time_ns
 from ..metrics.stats import jain_fairness

@@ -1,0 +1,32 @@
+"""Deterministic fault injection and recovery measurement.
+
+The paper's recovery machinery — delimiter re-election after silent death,
+window re-acquisition after idle, token re-learning after state loss — is
+the code a reproduction exercises least.  This package makes it a
+first-class evaluated surface:
+
+* :class:`FaultInjector` (:mod:`repro.faults.engine`) schedules fault
+  primitives (link down/flap, rate degradation, burst / one-way loss,
+  switch-agent state reset, silent flow kill, host pause) on the simulator
+  clock, so every chaos run is an ordinary deterministic simulation.
+* :class:`InvariantMonitor` (:mod:`repro.faults.invariants`) asserts the
+  TFC control-loop invariants on every slot while the chaos unfolds.
+* :mod:`repro.faults.recovery` turns a goodput series plus a fault
+  timeline into recovery metrics (time-to-reconverge, dip depth).
+
+The chaos scenario driver lives in :mod:`repro.experiments.chaos`.
+"""
+
+from .engine import FaultInjector, FaultRecord
+from .invariants import InvariantMonitor, InvariantViolation, Violation
+from .recovery import RecoveryReport, measure_recovery
+
+__all__ = [
+    "FaultInjector",
+    "FaultRecord",
+    "InvariantMonitor",
+    "InvariantViolation",
+    "Violation",
+    "RecoveryReport",
+    "measure_recovery",
+]

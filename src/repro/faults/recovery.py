@@ -1,0 +1,121 @@
+"""Recovery metrics: how fast and how cleanly did TFC come back?
+
+Takes a goodput series (from a :class:`~repro.metrics.samplers.RateSampler`)
+and a fault timeline and produces the three numbers the robustness
+evaluation reports per fault:
+
+* **time-to-reconverge** — from fault onset to the first moment goodput
+  reaches and *holds* the recovery threshold (a fraction of the pre-fault
+  baseline);
+* **dip depth** — how far goodput fell during/after the fault, as a
+  fraction of baseline (1.0 = total outage);
+* **post-fault timeouts** — retransmission timeouts fired after onset, a
+  proxy for how much the recovery leaned on last-resort mechanisms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+Series = List[Tuple[int, float]]  # (time_ns, value) — matches metrics
+
+
+@dataclass
+class RecoveryReport:
+    """Recovery metrics for one fault event."""
+
+    fault_start_ns: int
+    baseline: float  # mean pre-fault goodput (bits/s)
+    threshold: float  # recovery target as a fraction of baseline
+    reconverge_ns: Optional[int]  # absolute time recovery held; None = never
+    dip_depth: float  # worst fractional drop below baseline, in [0, 1]
+    post_fault_timeouts: int = 0
+
+    @property
+    def time_to_reconverge_ns(self) -> Optional[int]:
+        """Fault onset to recovery (None when it never reconverged)."""
+        if self.reconverge_ns is None:
+            return None
+        return self.reconverge_ns - self.fault_start_ns
+
+    @property
+    def recovered(self) -> bool:
+        return self.reconverge_ns is not None
+
+    def summary(self) -> str:
+        """One-line human-readable report."""
+        if self.reconverge_ns is None:
+            recon = "never reconverged"
+        else:
+            recon = (
+                f"reconverged in "
+                f"{self.time_to_reconverge_ns / 1e6:.2f} ms"
+            )
+        return (
+            f"baseline {self.baseline / 1e9:.3f} Gbps, "
+            f"dip {self.dip_depth * 100:.0f}%, {recon}, "
+            f"{self.post_fault_timeouts} post-fault timeouts"
+        )
+
+
+def measure_recovery(
+    series: Series,
+    fault_start_ns: int,
+    threshold: float = 0.9,
+    hold_samples: int = 5,
+    baseline_window: int = 20,
+    settle_ns: int = 0,
+    post_fault_timeouts: int = 0,
+) -> RecoveryReport:
+    """Derive a :class:`RecoveryReport` from a goodput series.
+
+    The baseline is the mean of the last ``baseline_window`` samples
+    strictly before ``fault_start_ns``.  Recovery is the first timestamp
+    at or after ``fault_start_ns + settle_ns`` from which ``hold_samples``
+    consecutive samples are all at least ``threshold x baseline``
+    (``settle_ns`` skips the fault window itself for faults whose cure —
+    link back up, host resumed — only lands later).  The dip is measured
+    from fault onset onward, so a fault with no effect reports 0.0.
+    """
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError(f"threshold must be in (0, 1], got {threshold}")
+    pre_fault = [v for t, v in series if t < fault_start_ns]
+    if not pre_fault:
+        raise ValueError("no samples before the fault: cannot baseline")
+    tail = pre_fault[-baseline_window:]
+    baseline = sum(tail) / len(tail)
+    if baseline <= 0:
+        raise ValueError("pre-fault baseline goodput is zero")
+
+    target = threshold * baseline
+    search_from = fault_start_ns + settle_ns
+    run = 0
+    run_start: Optional[int] = None
+    reconverge_ns: Optional[int] = None
+    worst = baseline
+    for t, value in series:
+        if t < fault_start_ns:
+            continue
+        worst = min(worst, value)
+        if reconverge_ns is not None:
+            continue
+        if t >= search_from and value >= target:
+            if run == 0:
+                run_start = t
+            run += 1
+            if run >= hold_samples:
+                reconverge_ns = run_start
+        else:
+            run = 0
+            run_start = None
+
+    dip_depth = max(0.0, (baseline - worst) / baseline)
+    return RecoveryReport(
+        fault_start_ns=fault_start_ns,
+        baseline=baseline,
+        threshold=threshold,
+        reconverge_ns=reconverge_ns,
+        dip_depth=dip_depth,
+        post_fault_timeouts=post_fault_timeouts,
+    )

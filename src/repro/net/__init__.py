@@ -14,7 +14,17 @@ from .packet import (
     Packet,
 )
 from .port import Link, Port
-from .queues import DropTailQueue, EcnQueue
+from .queues import (
+    BernoulliLoss,
+    DropTailQueue,
+    EcnQueue,
+    FaultyQueue,
+    FilteredLoss,
+    GilbertElliottLoss,
+    LossModel,
+    RandomDropQueue,
+    is_pure_ack,
+)
 from .topology import Topology, dumbbell, leaf_spine, multi_bottleneck, testbed
 
 __all__ = [
@@ -35,6 +45,13 @@ __all__ = [
     "Port",
     "DropTailQueue",
     "EcnQueue",
+    "FaultyQueue",
+    "RandomDropQueue",
+    "LossModel",
+    "BernoulliLoss",
+    "GilbertElliottLoss",
+    "FilteredLoss",
+    "is_pure_ack",
     "Topology",
     "dumbbell",
     "leaf_spine",

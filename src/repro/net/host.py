@@ -12,7 +12,7 @@ so it is modelled explicitly and is configurable per host.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Optional, Protocol
+from typing import Callable, Dict, List, Optional, Protocol
 
 from ..sim.engine import Simulator
 from ..sim.rng import SeedSequence
@@ -48,6 +48,9 @@ class Host(Endpoint):
         self._connections: Dict[FlowKey, PacketSink] = {}
         self._listeners: Dict[int, Callable[[Packet], Optional[PacketSink]]] = {}
         self._port_counter = itertools.count(10_000)
+        self.paused = False
+        self._paused_rx: List[Packet] = []
+        self.pauses = 0
 
     # ------------------------------------------------------------------
     # Socket-table management
@@ -77,6 +80,35 @@ class Host(Endpoint):
         self._listeners[port] = acceptor
 
     # ------------------------------------------------------------------
+    # Fault hooks: host stall (VM pause, GC, kernel soft-lockup)
+    # ------------------------------------------------------------------
+    def pause(self) -> None:
+        """Freeze the host: hold arriving packets, stop NIC transmission.
+
+        Simulator timers belonging to the host's transports still fire (a
+        stalled OS loses its short-term timekeeping too, but modelling that
+        buys nothing: an RTO retransmission during the pause just queues in
+        the paused NIC like everything else).
+        """
+        if self.paused:
+            return
+        self.paused = True
+        self.pauses += 1
+        for port in self.ports:
+            port.pause()
+
+    def resume(self) -> None:
+        """Unfreeze: deliver held packets and restart NIC transmission."""
+        if not self.paused:
+            return
+        self.paused = False
+        for port in self.ports:
+            port.resume()
+        pending, self._paused_rx = self._paused_rx, []
+        for packet in pending:
+            self._schedule_delivery(packet)
+
+    # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------
     def send(self, packet: Packet) -> None:
@@ -84,6 +116,12 @@ class Host(Endpoint):
         self.ports[0].send(packet)
 
     def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        if self.paused:
+            self._paused_rx.append(packet)
+            return
+        self._schedule_delivery(packet)
+
+    def _schedule_delivery(self, packet: Packet) -> None:
         delay = self.processing_delay_ns
         if self.processing_jitter_ns > 0:
             delay += self._rng.randrange(self.processing_jitter_ns + 1)

@@ -23,7 +23,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 class Link:
-    """One direction of a cable: fixed rate and propagation delay."""
+    """One direction of a cable: nominal rate and propagation delay.
+
+    Fault hooks (driven by :mod:`repro.faults`): ``up = False`` models a
+    cut cable — frames finishing serialisation vanish instead of arriving
+    (counted in ``faulted_frames``); ``rate_factor`` degrades the
+    serialisation rate (failing optics, autoneg fallback) without changing
+    the nominal rate protocols were configured against.
+    """
 
     def __init__(
         self,
@@ -42,9 +49,32 @@ class Link:
         self.delay_ns = delay_ns
         self.dst_node = dst_node
         self.dst_port_index = dst_port_index
+        self.up = True
+        self.rate_factor = 1.0
+        self.faulted_frames = 0
+
+    @property
+    def effective_rate_bps(self) -> int:
+        """Serialisation rate after any injected degradation."""
+        if self.rate_factor >= 1.0:
+            return self.rate_bps
+        return max(int(self.rate_bps * self.rate_factor), 1)
+
+    def degrade(self, factor: float) -> None:
+        """Scale the serialisation rate by ``factor`` (0 < factor <= 1)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"rate factor must be in (0, 1], got {factor}")
+        self.rate_factor = factor
+
+    def restore_rate(self) -> None:
+        """Clear any injected rate degradation."""
+        self.rate_factor = 1.0
 
     def carry(self, packet: Packet) -> None:
         """Deliver a fully serialised frame to the far end after the delay."""
+        if not self.up:
+            self.faulted_frames += 1
+            return  # the cable is cut; the frame vanishes
         self._sim.schedule(self.delay_ns, self._arrive, packet)
 
     def _arrive(self, packet: Packet) -> None:
@@ -76,6 +106,7 @@ class Port:
         self.tracer = tracer
         self.agent = None  # set by protocols that need per-port state
         self._busy = False
+        self.paused = False
         self.tx_packets = 0
         self.tx_bytes = 0
 
@@ -95,17 +126,36 @@ class Port:
             if self.tracer is not None:
                 self.tracer.emit(PACKET_DROP, packet=packet, port=self)
             return False
-        if not self._busy:
+        if not self._busy and not self.paused:
             self._start_next()
         return True
 
+    def pause(self) -> None:
+        """Stop starting new transmissions (host stall fault).
+
+        A frame already on the wire finishes serialising; everything else
+        accumulates in the queue until :meth:`resume`.
+        """
+        self.paused = True
+
+    def resume(self) -> None:
+        """Resume transmission after :meth:`pause`."""
+        if not self.paused:
+            return
+        self.paused = False
+        if not self._busy:
+            self._start_next()
+
     def _start_next(self) -> None:
+        if self.paused:
+            self._busy = False
+            return
         packet = self.queue.dequeue()
         if packet is None:
             self._busy = False
             return
         self._busy = True
-        tx_ns = transmission_time_ns(packet.frame_size, self.link.rate_bps)
+        tx_ns = transmission_time_ns(packet.frame_size, self.link.effective_rate_bps)
         self._sim.schedule(tx_ns, self._finish_tx, packet)
 
     def _finish_tx(self, packet: Packet) -> None:

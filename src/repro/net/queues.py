@@ -1,4 +1,4 @@
-"""Output-port packet queues.
+"""Output-port packet queues and composable loss models.
 
 Two disciplines are enough for the paper's evaluation:
 
@@ -8,20 +8,128 @@ Two disciplines are enough for the paper's evaluation:
   instantaneous queue occupancy exceeds the threshold ``K`` (DCTCP's step
   marking at the switch).
 
+For robustness testing every queue additionally accepts a pluggable
+:class:`LossModel` consulted before admission — lossy optics, bursty
+interference (:class:`GilbertElliottLoss`), or one-way failures
+(:class:`FilteredLoss` over a packet predicate).  All loss models draw from
+an explicitly supplied RNG (a :class:`random.Random`, normally a named
+stream from :class:`repro.sim.rng.SeedSequence`), so every loss pattern is
+reproducible from the run's root seed.
+
 Queues never touch the simulator clock; the owning :class:`~repro.net.port.
 Port` drives them.
 """
 
 from __future__ import annotations
 
+import random
 from collections import deque
-from typing import Deque, Optional
+from typing import Callable, Deque, Optional
 
+from ..sim.rng import SeedSequence
 from .packet import Packet
 
 
+class LossModel:
+    """Decides, packet by packet, whether a fault eats an arrival."""
+
+    def should_drop(self, packet: Packet) -> bool:
+        """Whether this arrival is lost to the modelled fault."""
+        raise NotImplementedError
+
+
+class BernoulliLoss(LossModel):
+    """Independent per-packet loss with a fixed probability."""
+
+    def __init__(self, probability: float, rng: random.Random):
+        if not 0.0 <= probability < 1.0:
+            raise ValueError(
+                f"drop probability must be in [0, 1), got {probability}"
+            )
+        self.probability = probability
+        self._rng = rng
+
+    def should_drop(self, packet: Packet) -> bool:
+        return self.probability > 0 and self._rng.random() < self.probability
+
+
+class GilbertElliottLoss(LossModel):
+    """Two-state Markov (Gilbert–Elliott) loss: quiet spells punctuated by
+    loss bursts.
+
+    Each arrival first advances the chain (good -> bad with probability
+    ``p_enter_bad``, bad -> good with ``p_exit_bad``), then is dropped with
+    the loss rate of the resulting state.  Mean burst length is
+    ``1/p_exit_bad`` packets; mean gap between bursts ``1/p_enter_bad``.
+    """
+
+    def __init__(
+        self,
+        rng: random.Random,
+        p_enter_bad: float,
+        p_exit_bad: float,
+        loss_good: float = 0.0,
+        loss_bad: float = 1.0,
+    ):
+        for name, value in (
+            ("p_enter_bad", p_enter_bad),
+            ("p_exit_bad", p_exit_bad),
+        ):
+            if not 0.0 < value <= 1.0:
+                raise ValueError(f"{name} must be in (0, 1], got {value}")
+        for name, value in (("loss_good", loss_good), ("loss_bad", loss_bad)):
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        self._rng = rng
+        self.p_enter_bad = p_enter_bad
+        self.p_exit_bad = p_exit_bad
+        self.loss_good = loss_good
+        self.loss_bad = loss_bad
+        self.bad = False
+
+    def should_drop(self, packet: Packet) -> bool:
+        if self.bad:
+            if self._rng.random() < self.p_exit_bad:
+                self.bad = False
+        elif self._rng.random() < self.p_enter_bad:
+            self.bad = True
+        loss = self.loss_bad if self.bad else self.loss_good
+        if loss <= 0.0:
+            return False
+        return loss >= 1.0 or self._rng.random() < loss
+
+
+class FilteredLoss(LossModel):
+    """Applies an inner loss model only to packets matching a predicate.
+
+    The canonical use is one-way ACK loss (``match=is_pure_ack``): data
+    flows one way unharmed while the reverse control channel is lossy —
+    the failure mode that exercises sender RTO and TFC probe retries.
+    Non-matching packets do not advance the inner model's state.
+    """
+
+    def __init__(self, inner: LossModel, match: Callable[[Packet], bool]):
+        self.inner = inner
+        self.match = match
+
+    def should_drop(self, packet: Packet) -> bool:
+        return self.match(packet) and self.inner.should_drop(packet)
+
+
+def is_pure_ack(packet: Packet) -> bool:
+    """Predicate for :class:`FilteredLoss`: payload-free ACK segments."""
+    return packet.is_ack and packet.payload == 0
+
+
 class DropTailQueue:
-    """FIFO byte-bounded queue with drop-tail admission."""
+    """FIFO byte-bounded queue with drop-tail admission.
+
+    ``loss_model`` is the fault-injection hook: when set, every arrival is
+    offered to it before admission and dropped (counted in
+    ``faulted_drops``) when the model says so.  The fault engine toggles it
+    at scheduled times; it is None — one attribute test per enqueue — in
+    normal runs.
+    """
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -33,6 +141,8 @@ class DropTailQueue:
         self.dropped_bytes = 0
         self.enqueues = 0
         self.max_bytes_seen = 0
+        self.loss_model: Optional[LossModel] = None
+        self.faulted_drops = 0
 
     # ------------------------------------------------------------------
     @property
@@ -51,6 +161,11 @@ class DropTailQueue:
 
     def enqueue(self, packet: Packet) -> bool:
         """Append ``packet``; returns False (and counts a drop) on overflow."""
+        if self.loss_model is not None and self.loss_model.should_drop(packet):
+            self.faulted_drops += 1
+            self.drops += 1
+            self.dropped_bytes += packet.size
+            return False
         if not self.admit(packet):
             self.drops += 1
             self.dropped_bytes += packet.size
@@ -84,30 +199,50 @@ class DropTailQueue:
         )
 
 
-class RandomDropQueue(DropTailQueue):
-    """Drop-tail queue that additionally drops a random fraction of
-    arrivals — a failure-injection harness for loss-recovery testing
-    (lossy optics, early-discard policies).  Not used by the paper's
-    experiments; used by the robustness tests.
+class FaultyQueue(DropTailQueue):
+    """Drop-tail queue constructed with a loss model already attached.
+
+    The general fault-injection queue: compose any :class:`LossModel`
+    (Bernoulli, Gilbert–Elliott, filtered one-way loss) with drop-tail
+    admission.  The model can also be swapped or cleared at runtime via
+    the ``loss_model`` attribute every queue exposes.
     """
 
-    def __init__(self, capacity_bytes: int, drop_probability: float, rng):
+    def __init__(
+        self, capacity_bytes: int, loss_model: Optional[LossModel] = None
+    ):
         super().__init__(capacity_bytes)
-        if not 0.0 <= drop_probability < 1.0:
-            raise ValueError(
-                f"drop probability must be in [0, 1), got {drop_probability}"
-            )
-        self.drop_probability = drop_probability
-        self._rng = rng
-        self.random_drops = 0
+        self.loss_model = loss_model
 
-    def enqueue(self, packet: Packet) -> bool:
-        if self.drop_probability > 0 and self._rng.random() < self.drop_probability:
-            self.random_drops += 1
-            self.drops += 1
-            self.dropped_bytes += packet.size
-            return False
-        return super().enqueue(packet)
+
+class RandomDropQueue(FaultyQueue):
+    """Thin wrapper over :class:`FaultyQueue` with Bernoulli loss.
+
+    Loss patterns must be reproducible across runs, so the RNG is explicit:
+    pass either ``rng`` (normally a named stream from
+    :class:`repro.sim.rng.SeedSequence`) or ``seed`` (from which a
+    deterministic stream is derived) — never ambient module-level
+    randomness.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        drop_probability: float,
+        rng: Optional[random.Random] = None,
+        seed: Optional[int] = None,
+    ):
+        if (rng is None) == (seed is None):
+            raise ValueError("provide exactly one of rng= or seed=")
+        if rng is None:
+            rng = SeedSequence(seed).stream("random-drop")
+        super().__init__(capacity_bytes, BernoulliLoss(drop_probability, rng))
+        self.drop_probability = drop_probability
+
+    @property
+    def random_drops(self) -> int:
+        """Drops caused by the loss model (alias kept for older callers)."""
+        return self.faulted_drops
 
 
 class EcnQueue(DropTailQueue):

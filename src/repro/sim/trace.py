@@ -57,3 +57,6 @@ FLOW_COMPLETE = "transport.flow_complete"
 TFC_WINDOW_UPDATE = "tfc.window_update"
 TFC_DELIMITER_ELECTED = "tfc.delimiter_elected"
 TFC_ACK_DELAYED = "tfc.ack_delayed"
+FAULT_INJECTED = "fault.injected"
+FAULT_CLEARED = "fault.cleared"
+INVARIANT_VIOLATION = "fault.invariant_violation"

@@ -24,9 +24,9 @@ import enum
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..net.host import Host
-from ..net.packet import MSS, Packet, WINDOW_SENTINEL
+from ..net.packet import MSS, Packet
 from ..sim.timers import Timer
-from ..sim.trace import FLOW_COMPLETE, RETRANSMIT_TIMEOUT, FAST_RETRANSMIT
+from ..sim.trace import FLOW_COMPLETE, RETRANSMIT_TIMEOUT
 from ..sim.units import MILLISECOND, SECOND, microseconds
 
 DEFAULT_AWND = 1 << 20  # 1 MiB advertised window
@@ -186,6 +186,18 @@ class Sender:
         self.fin_on_empty = True
         if self.state is FlowState.ESTABLISHED:
             self._maybe_complete()
+
+    def abort(self) -> None:
+        """Kill the flow instantly, with no FIN (process or host crash).
+
+        The connection just goes silent: peers and switches get no
+        teardown signal and must detect the death themselves — for TFC
+        this is what forces the delimiter-silence re-election backoff
+        instead of the clean FIN hand-over.  ``stats.complete_ns`` stays
+        None (the flow did not complete) and ``on_complete`` never fires.
+        """
+        self.close()
+        self.state = FlowState.DONE
 
     # ------------------------------------------------------------------
     # Derived quantities

@@ -19,7 +19,7 @@ exact split the paper's Figs. 13 and 16 report.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..metrics.fct import FctCollector
 from ..net.host import Host

@@ -1,6 +1,5 @@
 """Tests for TFC sender/receiver endpoints."""
 
-from repro.core.sender import TfcReceiver, TfcSender
 from repro.net.packet import MSS, Packet, WINDOW_SENTINEL
 from repro.sim.units import MILLISECOND, seconds
 from repro.transport.base import FlowState

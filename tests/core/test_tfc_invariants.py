@@ -1,6 +1,5 @@
 """Cross-cutting TFC invariants observed through the tracer."""
 
-from repro.core.params import TfcParams
 from repro.net.packet import MSS
 from repro.net.topology import dumbbell
 from repro.sim.trace import (

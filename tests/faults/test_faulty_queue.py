@@ -1,0 +1,144 @@
+"""Loss models and the composable FaultyQueue."""
+
+import random
+
+import pytest
+
+from repro.net.packet import MSS, Packet
+from repro.net.queues import (
+    BernoulliLoss,
+    DropTailQueue,
+    FaultyQueue,
+    FilteredLoss,
+    GilbertElliottLoss,
+    is_pure_ack,
+)
+
+
+def data_packet():
+    return Packet(1, 2, 3, 4, payload=MSS)
+
+
+def ack_packet():
+    return Packet(2, 1, 4, 3, payload=0, is_ack=True)
+
+
+# ----------------------------------------------------------------------
+# Loss models
+# ----------------------------------------------------------------------
+def test_bernoulli_loss_rate():
+    model = BernoulliLoss(0.25, random.Random(3))
+    drops = sum(model.should_drop(data_packet()) for _ in range(4000))
+    assert 850 < drops < 1150  # ~25% of 4000
+
+
+def test_bernoulli_validates_probability():
+    for bad in (-0.1, 1.0, 1.5):
+        with pytest.raises(ValueError):
+            BernoulliLoss(bad, random.Random(0))
+
+
+def test_gilbert_elliott_loss_is_bursty():
+    """Same mean loss rate as Bernoulli, but drops arrive in runs."""
+    model = GilbertElliottLoss(
+        random.Random(5), p_enter_bad=0.02, p_exit_bad=0.2
+    )
+    outcomes = [model.should_drop(data_packet()) for _ in range(20_000)]
+    drops = sum(outcomes)
+    # Stationary bad-state share: 0.02 / (0.02 + 0.2) ~ 9%.
+    assert 0.05 < drops / len(outcomes) < 0.14
+    bursts = []
+    run = 0
+    for dropped in outcomes:
+        if dropped:
+            run += 1
+        elif run:
+            bursts.append(run)
+            run = 0
+    mean_burst = sum(bursts) / len(bursts)
+    # Mean burst ~ 1/p_exit_bad = 5; independent loss at 9% would give ~1.1.
+    assert mean_burst > 2.5
+
+
+def test_gilbert_elliott_deterministic_from_rng():
+    def pattern(seed):
+        model = GilbertElliottLoss(
+            random.Random(seed), p_enter_bad=0.05, p_exit_bad=0.3
+        )
+        return [model.should_drop(data_packet()) for _ in range(1000)]
+
+    assert pattern(11) == pattern(11)
+    assert pattern(11) != pattern(12)
+
+
+def test_gilbert_elliott_validates():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(rng, p_enter_bad=0.0, p_exit_bad=0.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(rng, p_enter_bad=0.5, p_exit_bad=1.5)
+    with pytest.raises(ValueError):
+        GilbertElliottLoss(rng, 0.1, 0.1, loss_bad=1.2)
+
+
+def test_filtered_loss_only_hits_matching_packets():
+    model = FilteredLoss(BernoulliLoss(0.99, random.Random(1)), is_pure_ack)
+    assert not any(model.should_drop(data_packet()) for _ in range(200))
+    drops = sum(model.should_drop(ack_packet()) for _ in range(200))
+    assert drops > 150
+
+
+def test_filtered_loss_preserves_inner_state_for_nonmatching():
+    """A stream of data packets must not advance the inner chain."""
+    inner = GilbertElliottLoss(
+        random.Random(2), p_enter_bad=0.5, p_exit_bad=0.5
+    )
+    model = FilteredLoss(inner, is_pure_ack)
+    before = inner.bad
+    for _ in range(50):
+        model.should_drop(data_packet())
+    assert inner.bad == before
+
+
+def test_is_pure_ack():
+    assert is_pure_ack(ack_packet())
+    assert not is_pure_ack(data_packet())
+    piggyback = Packet(1, 2, 3, 4, payload=MSS, is_ack=True)
+    assert not is_pure_ack(piggyback)
+
+
+# ----------------------------------------------------------------------
+# FaultyQueue composition
+# ----------------------------------------------------------------------
+def test_faulty_queue_without_model_is_droptail():
+    queue = FaultyQueue(10 * MSS)
+    for _ in range(20):
+        queue.enqueue(data_packet())
+    plain = DropTailQueue(10 * MSS)
+    for _ in range(20):
+        plain.enqueue(data_packet())
+    assert queue.drops == plain.drops > 0
+    assert queue.faulted_drops == 0
+
+
+def test_loss_model_attaches_to_any_queue_mid_run():
+    """The fault engine toggles ``loss_model`` on live queues."""
+    queue = DropTailQueue(10**9)
+    assert all(queue.enqueue(data_packet()) for _ in range(50))
+    queue.loss_model = BernoulliLoss(1.0 - 1e-9, random.Random(0))
+    assert not any(queue.enqueue(data_packet()) for _ in range(50))
+    assert queue.faulted_drops == 50
+    queue.loss_model = None
+    assert all(queue.enqueue(data_packet()) for _ in range(50))
+    assert queue.faulted_drops == 50
+
+
+def test_faulted_drops_counted_in_totals():
+    queue = FaultyQueue(
+        10**9, BernoulliLoss(1.0 - 1e-9, random.Random(0))
+    )
+    packet = data_packet()
+    assert not queue.enqueue(packet)
+    assert queue.drops == queue.faulted_drops == 1
+    assert queue.dropped_bytes == packet.size
+    assert queue.byte_length == 0

@@ -1,0 +1,84 @@
+"""Satellite: host pause -> stale window -> re-acquisition, not a burst.
+
+DESIGN.md section 5a.10: a TFC sender resuming after more than 0.5 ms of
+idle must drop back into the window-acquisition phase instead of bursting
+its held (stale) allocation.  Here the idle gap is created by the host
+pause/resume fault primitive: the sender's burst drains, the host freezes
+past ``idle_reacquire_ns``, and fresh application data arrives right after
+the resume.
+"""
+
+from repro.experiments.common import build_topology
+from repro.faults import FaultInjector
+from repro.net.topology import dumbbell
+from repro.sim.units import milliseconds
+from repro.transport.registry import open_flow
+
+
+def test_host_pause_forces_window_reacquisition():
+    topo = build_topology(dumbbell, "tfc", buffer_bytes=256_000, n_senders=2)
+    net = topo.network
+    receiver = topo.hosts[-1]
+    # Background long-lived flow keeps the switch agents and slots alive.
+    open_flow(topo.host(1), receiver, "tfc")
+    # On-off flow under test: size_bytes=0 + queue_bytes (application API).
+    onoff = open_flow(topo.host(0), receiver, "tfc", size_bytes=0)
+    onoff.queue_bytes(40_000)
+
+    drain_ns = milliseconds(10)  # burst long since drained by now
+    pause_ns = milliseconds(2)  # > idle_reacquire_ns (0.5 ms)
+    injector = FaultInjector(net)
+    injector.pause_host(topo.host(0), drain_ns, pause_ns)
+
+    resumed_state = {}
+
+    def send_after_resume():
+        assert onoff.flight_size == 0  # it really was idle
+        assert onoff.window_acquired  # holding a stale window
+        onoff.queue_bytes(40_000)
+        # queue_bytes saw the stale window: back to acquisition, no burst.
+        resumed_state["reacquisitions"] = onoff.reacquisitions
+        resumed_state["window_acquired"] = onoff.window_acquired
+        resumed_state["cwnd"] = onoff.cwnd
+        resumed_state["flight"] = onoff.flight_size
+
+    net.sim.schedule_at(drain_ns + pause_ns + 1000, send_after_resume)
+    net.run_for(milliseconds(40))
+
+    assert resumed_state["reacquisitions"] == 1
+    assert resumed_state["window_acquired"] is False
+    assert resumed_state["cwnd"] == 0.0
+    assert resumed_state["flight"] == 0  # nothing burst at resume
+    # The flow then re-acquired a window and delivered the second burst.
+    assert onoff.window_acquired
+    assert onoff.receiver.bytes_received == 80_000
+
+
+def test_short_gap_with_small_window_does_not_reacquire():
+    """A sub-threshold gap with a modest held window resumes directly."""
+    topo = build_topology(dumbbell, "tfc", buffer_bytes=256_000, n_senders=2)
+    net = topo.network
+    receiver = topo.hosts[-1]
+    open_flow(topo.host(1), receiver, "tfc")
+    onoff = open_flow(topo.host(0), receiver, "tfc", size_bytes=0)
+    onoff.queue_bytes(40_000)
+
+    gap_start = milliseconds(10)
+    gap_ns = 200_000  # 0.2 ms < idle_reacquire_ns
+    held = {}
+
+    def send_again():
+        held["cwnd"] = onoff.cwnd
+        onoff.queue_bytes(20_000)
+        held["reacquisitions"] = onoff.reacquisitions
+
+    net.sim.schedule_at(gap_start + gap_ns, send_again)
+    net.run_for(milliseconds(40))
+    if held["cwnd"] <= onoff.resume_burst_limit:
+        # Small held window, short gap: no re-acquisition round trip.
+        assert held["reacquisitions"] == 0
+    else:
+        # The held window itself exceeded the burst limit, which must
+        # trigger re-acquisition regardless of the gap length.
+        assert held["reacquisitions"] == 1
+    assert onoff.receiver.bytes_received == 60_000

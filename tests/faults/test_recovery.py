@@ -1,0 +1,100 @@
+"""Recovery metrics and the chaos acceptance criterion.
+
+The acceptance bar for the fault work: under every fault primitive, TFC
+reconverges to at least 90% of its pre-fault aggregate goodput with zero
+invariant-monitor violations.  The full catalogue runs in the slow suite;
+a two-fault subset stays in tier-1 as a regression canary.
+"""
+
+import pytest
+
+from repro.experiments.chaos import FAULT_KINDS, run_chaos
+from repro.faults import measure_recovery
+from repro.sim.units import milliseconds
+
+MS = milliseconds(1)
+
+
+# ----------------------------------------------------------------------
+# measure_recovery on synthetic series
+# ----------------------------------------------------------------------
+def series(values, step_ns=MS):
+    return [(i * step_ns, v) for i, v in enumerate(values)]
+
+
+def test_measure_recovery_happy_path():
+    # 5 baseline samples at 10, dip to 2, back above 9 from sample 8 on.
+    data = series([10, 10, 10, 10, 10, 2, 4, 7, 9.5, 9.6, 10, 10, 10, 10])
+    report = measure_recovery(
+        data, fault_start_ns=5 * MS, threshold=0.9, hold_samples=3
+    )
+    assert report.baseline == pytest.approx(10.0)
+    assert report.dip_depth == pytest.approx(0.8)
+    assert report.reconverge_ns == 8 * MS
+    assert report.time_to_reconverge_ns == 3 * MS
+    assert report.recovered
+    assert "reconverged in 3.00 ms" in report.summary()
+
+
+def test_measure_recovery_never_reconverges():
+    data = series([10, 10, 10, 10, 2, 3, 2, 3, 2, 3])
+    report = measure_recovery(data, fault_start_ns=4 * MS, hold_samples=2)
+    assert report.reconverge_ns is None
+    assert report.time_to_reconverge_ns is None
+    assert not report.recovered
+    assert "never reconverged" in report.summary()
+
+
+def test_measure_recovery_hold_must_be_consecutive():
+    # Reaches the target once, dips again, then holds.
+    data = series([10, 10, 10, 1, 9.5, 1, 9.5, 9.5, 9.5, 9.5])
+    report = measure_recovery(data, fault_start_ns=3 * MS, hold_samples=3)
+    assert report.reconverge_ns == 6 * MS  # the start of the real hold
+
+
+def test_measure_recovery_settle_skips_fault_window():
+    # Goodput never actually dips, but recovery may only be declared
+    # after the fault window (the cure) has passed.
+    data = series([10] * 12)
+    report = measure_recovery(
+        data, fault_start_ns=4 * MS, settle_ns=3 * MS, hold_samples=2
+    )
+    assert report.reconverge_ns == 7 * MS
+    assert report.dip_depth == 0.0
+
+
+def test_measure_recovery_validates():
+    data = series([10, 10, 10, 10])
+    with pytest.raises(ValueError):
+        measure_recovery(data, fault_start_ns=2 * MS, threshold=0.0)
+    with pytest.raises(ValueError):
+        measure_recovery(data, fault_start_ns=0)  # no pre-fault samples
+    with pytest.raises(ValueError):
+        measure_recovery(series([0, 0, 0]), fault_start_ns=2 * MS)
+
+
+# ----------------------------------------------------------------------
+# Chaos acceptance
+# ----------------------------------------------------------------------
+def assert_clean_recovery(result):
+    report = result.report
+    assert not result.violations, result.violations[0].report()
+    assert report.recovered, (
+        f"{result.fault}: never reconverged to "
+        f"{report.threshold:.0%} of baseline ({report.summary()})"
+    )
+    assert result.invariant_checks > 0
+
+
+@pytest.mark.parametrize("fault", ["switch_reset", "delimiter_kill"])
+def test_chaos_fast_subset_recovers_cleanly(fault):
+    """Tier-1 canary: the two state-wiping faults recover >= 90%."""
+    assert_clean_recovery(run_chaos(fault))
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("fault", FAULT_KINDS)
+def test_chaos_full_catalogue_recovers_cleanly(fault):
+    """Acceptance: every fault primitive reconverges to >= 90% of the
+    pre-fault goodput with zero invariant violations."""
+    assert_clean_recovery(run_chaos(fault))

@@ -4,7 +4,6 @@ import pytest
 
 from repro.metrics.fct import FctCollector, bucket_for_size
 from repro.metrics.samplers import (
-    PeriodicSampler,
     QueueSampler,
     RateSampler,
     convergence_time_ns,

@@ -5,7 +5,7 @@ import pytest
 from repro.net.packet import Packet, MSS
 from repro.net.topology import dumbbell, leaf_spine, multi_bottleneck
 from repro.net.topology import testbed as build_testbed
-from repro.sim.units import GBPS, microseconds
+from repro.sim.units import GBPS
 
 
 def all_pairs_reachable(topo):

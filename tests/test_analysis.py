@@ -98,7 +98,7 @@ def test_flat_within():
 # Failure injection
 # ----------------------------------------------------------------------
 def test_random_drop_queue_drops_fraction():
-    queue = RandomDropQueue(10**9, drop_probability=0.3, rng=random.Random(1))
+    queue = RandomDropQueue(10**9, drop_probability=0.3, seed=1)
     accepted = sum(
         1 for _ in range(2000)
         if queue.enqueue(Packet(1, 2, 3, 4, payload=MSS))
@@ -107,9 +107,26 @@ def test_random_drop_queue_drops_fraction():
     assert queue.random_drops == 2000 - accepted
 
 
+def test_random_drop_queue_deterministic_from_seed():
+    def accepted(queue):
+        return [
+            queue.enqueue(Packet(1, 2, 3, 4, payload=MSS)) for _ in range(500)
+        ]
+
+    first = accepted(RandomDropQueue(10**9, drop_probability=0.3, seed=42))
+    second = accepted(RandomDropQueue(10**9, drop_probability=0.3, seed=42))
+    other = accepted(RandomDropQueue(10**9, drop_probability=0.3, seed=43))
+    assert first == second
+    assert first != other
+
+
 def test_random_drop_queue_validates():
     with pytest.raises(ValueError):
-        RandomDropQueue(1000, drop_probability=1.0, rng=random.Random(0))
+        RandomDropQueue(1000, drop_probability=1.0, seed=0)
+    with pytest.raises(ValueError):  # exactly one of rng/seed
+        RandomDropQueue(1000, drop_probability=0.5)
+    with pytest.raises(ValueError):
+        RandomDropQueue(1000, 0.5, rng=random.Random(0), seed=1)
 
 
 def test_protocols_survive_random_loss():
@@ -123,7 +140,7 @@ def test_protocols_survive_random_loss():
         rng = random.Random(7)
         topo = dumbbell(
             n_senders=2,
-            queue_factory=lambda rate: RandomDropQueue(256_000, 0.01, rng),
+            queue_factory=lambda rate: RandomDropQueue(256_000, 0.01, rng=rng),
         )
         configure_network(topo.network, proto)
         receiver = topo.hosts[-1]

@@ -21,15 +21,27 @@ def test_quickstart_from_package_docstring():
 
 
 def test_top_level_namespaces():
-    from repro import core, experiments, metrics, net, sim, transport, workloads
+    from repro import (
+        core,
+        experiments,
+        faults,
+        metrics,
+        net,
+        sim,
+        transport,
+        workloads,
+    )
 
     assert core.TfcParams
     assert net.Packet and net.dumbbell
+    assert net.FaultyQueue and net.GilbertElliottLoss
     assert sim.Simulator
     assert transport.open_flow and transport.PROTOCOLS is not None
     assert workloads.IncastCoordinator
     assert metrics.FctCollector
     assert experiments.run_fig12
+    assert experiments.run_chaos
+    assert faults.FaultInjector and faults.InvariantMonitor
 
 
 def test_protocol_registry_contents():

@@ -5,7 +5,7 @@ import pytest
 
 from repro.net.packet import MSS, Packet
 from repro.sim.units import MILLISECOND, seconds
-from repro.transport.base import FlowState, Receiver, Sender
+from repro.transport.base import FlowState, Receiver
 from repro.transport.registry import open_flow
 
 

@@ -3,8 +3,7 @@
 from repro.net.packet import MSS, Packet
 from repro.net.queues import EcnQueue
 from repro.sim.units import seconds
-from repro.transport.base import FlowState
-from repro.transport.dctcp import DctcpReceiver, DctcpSender
+from repro.transport.dctcp import DctcpReceiver
 from repro.transport.registry import open_flow, queue_factory_for
 
 

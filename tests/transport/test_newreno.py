@@ -1,9 +1,9 @@
 """Tests for NewReno congestion control, driven by crafted ACKs."""
 
 from repro.net.packet import MSS, Packet
-from repro.sim.units import MILLISECOND, seconds
+from repro.sim.units import seconds
 from repro.transport.base import FlowState
-from repro.transport.newreno import DUPACK_THRESHOLD, NewRenoSender
+from repro.transport.newreno import DUPACK_THRESHOLD
 from repro.transport.registry import open_flow
 
 
