@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_experiments.json at the repo root (run from the repo root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_experiments.py [--repeats N]
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    out = "BENCH_experiments.json"
+    argv = ["--kind", "experiments", "--out", out]
+    if os.path.exists(out):
+        argv += ["--keep-baseline", out]
+    sys.exit(main(argv + sys.argv[1:]))

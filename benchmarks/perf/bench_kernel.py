@@ -1,0 +1,24 @@
+#!/usr/bin/env python
+"""Regenerate BENCH_kernel.json at the repo root (run from the repo root).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf/bench_kernel.py [--repeats N]
+
+Keeps the existing snapshot's ``baseline`` block (the pre-fast-path seed
+numbers) so the history of the speedup stays in the committed file.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.perf.bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    out = "BENCH_kernel.json"
+    argv = ["--kind", "kernel", "--out", out]
+    if os.path.exists(out):
+        argv += ["--keep-baseline", out]
+    sys.exit(main(argv + sys.argv[1:]))

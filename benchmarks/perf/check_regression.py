@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Perf gate: fail (exit 1) if current HEAD regresses >15% vs the committed
+snapshots.  Run from the repo root::
+
+    PYTHONPATH=src python benchmarks/perf/check_regression.py
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro.perf.compare import main  # noqa: E402
+
+if __name__ == "__main__":
+    status = 0
+    for snapshot in ("BENCH_kernel.json", "BENCH_experiments.json"):
+        if not os.path.exists(snapshot):
+            print(f"{snapshot}: not found, skipping")
+            continue
+        status |= main([snapshot] + sys.argv[1:])
+    sys.exit(status)

@@ -282,7 +282,11 @@ class TfcPortAgent:
             self.granted_bytes = 0.0
             self.slot_start_ns = now
             self.miss_count = 0
-            self.tracer.emit(TFC_WINDOW_UPDATE, agent=self)
+            tracer = self.tracer
+            if tracer.active(TFC_WINDOW_UPDATE):
+                tracer.emit(TFC_WINDOW_UPDATE, agent=self)
+            else:
+                tracer.bump(TFC_WINDOW_UPDATE)
             return
 
         capacity_bytes = bandwidth_delay_product(self.rate_bps, rttm)
@@ -322,7 +326,11 @@ class TfcPortAgent:
         )
         self.delay_arbiter.set_cap(self.tokens)
         self.slot_index += 1
-        self.tracer.emit(TFC_WINDOW_UPDATE, agent=self)
+        tracer = self.tracer
+        if tracer.active(TFC_WINDOW_UPDATE):
+            tracer.emit(TFC_WINDOW_UPDATE, agent=self)
+        else:
+            tracer.bump(TFC_WINDOW_UPDATE)
 
         # Start the next slot; the delimiter's own RM counts as its weight.
         self.effective_flows = self._delimiter_weight

@@ -1,7 +1,14 @@
 """Experiment drivers — one module per paper figure (see DESIGN.md §4)."""
 
 from .chaos import FAULT_KINDS, ChaosResult, run_all, run_chaos
-from .common import ALL_PROTOCOLS, PROTOCOL_LABELS, build_topology, format_table
+from .common import (
+    ALL_PROTOCOLS,
+    PROTOCOL_LABELS,
+    ExperimentResult,
+    build_topology,
+    derive_cell_seed,
+    format_table,
+)
 from .fig06_rttb import RttbResult, run_fig06
 from .fig07_ne import NeResult, run_fig07
 from .fig08_queue import StaggeredFlowsResult, run_staggered_flows
@@ -14,6 +21,8 @@ __all__ = [
     "ALL_PROTOCOLS",
     "PROTOCOL_LABELS",
     "build_topology",
+    "ExperimentResult",
+    "derive_cell_seed",
     "format_table",
     "FAULT_KINDS",
     "ChaosResult",

@@ -9,6 +9,7 @@ live here.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -31,6 +32,20 @@ class ExperimentResult:
 
     def __getitem__(self, key: str) -> float:
         return self.scalars[key]
+
+
+def derive_cell_seed(root_seed: int, *labels) -> int:
+    """Deterministic child seed for one experiment cell.
+
+    Hashes ``(root_seed, labels)`` the same way :class:`repro.sim.rng.
+    SeedSequence` derives streams, so a cell's seed depends only on its
+    identity — not on the order cells run in, the worker process it lands
+    on, or which other cells exist.  That is what makes ``--jobs N`` output
+    bit-identical to a serial run.
+    """
+    tag = ":".join(str(part) for part in labels)
+    digest = hashlib.sha256(f"{int(root_seed)}:cell:{tag}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 def build_topology(

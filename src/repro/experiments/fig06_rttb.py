@@ -21,7 +21,7 @@ from ..metrics.stats import cdf_points, mean
 from ..net.topology import testbed
 from ..sim.units import microseconds, seconds, to_microseconds
 from ..transport.registry import open_flow
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -105,3 +105,27 @@ def run_fig06(
     net.sim.schedule(interval_ns, sample_rttb)
     net.run_for(seconds(duration_s))
     return result
+
+
+def run_fig06_cell(
+    duration_s: float = 4.0,
+    sample_interval_s: float = 0.25,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    res = run_fig06(
+        duration_s=duration_s, sample_interval_s=sample_interval_s, seed=seed
+    )
+    return ExperimentResult(
+        name=f"fig06:seed{seed}",
+        protocol="tfc",
+        scalars={
+            "rttb_mean_us": res.rttb_mean_us,
+            "reference_mean_us": res.reference_mean_us,
+            "gap_us": res.gap_us,
+        },
+        series={
+            "rttb_samples_us": list(res.rttb_samples_us),
+            "reference_samples_us": list(res.reference_samples_us),
+        },
+    )

@@ -20,7 +20,7 @@ from typing import List, Tuple
 from ..net.topology import testbed
 from ..sim.units import GBPS, seconds
 from ..transport.registry import open_flow
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 def _mean_srtt(senders) -> float:
@@ -125,3 +125,22 @@ def run_fig07(
     net.sim.schedule(seconds(settle_s * 0.9), sample)
     net.run_until(end_ns)
     return result
+
+
+def run_fig07_cell(
+    n2: int = 5,
+    n1_max: int = 10,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    res = run_fig07(n2=n2, n1_max=n1_max, seed=seed)
+    return ExperimentResult(
+        name=f"fig07:n2={n2}:n1max={n1_max}:seed{seed}",
+        protocol="tfc",
+        scalars={
+            "max_error": res.max_error(),
+            "mean_error": res.mean_error(),
+            "rtt_ratio": res.rtt_ratio,
+        },
+        series={"samples": list(res.samples)},
+    )

@@ -25,7 +25,7 @@ from ..metrics.stats import jain_fairness
 from ..net.topology import testbed
 from ..sim.units import microseconds, milliseconds, seconds
 from ..transport.registry import open_flow
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -138,3 +138,33 @@ def run_staggered_flows(
     result.drops = net.total_drops()
     result.timeouts = sum(sender.stats.timeouts for sender in senders)
     return result
+
+
+def run_staggered_cell(
+    protocol: str,
+    n_flows: int = 4,
+    interval_s: float = 0.25,
+    tail_s: float = 0.5,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    res = run_staggered_flows(
+        protocol,
+        n_flows=n_flows,
+        interval_s=interval_s,
+        tail_s=tail_s,
+        seed=seed,
+    )
+    return ExperimentResult(
+        name=f"fig08:{protocol}:n{n_flows}:seed{seed}",
+        protocol=protocol,
+        scalars={
+            "queue_mean_bytes": res.queue_mean_bytes(),
+            "queue_max_bytes": res.queue_max_bytes(),
+            "fairness": res.steady_state_fairness(),
+            "aggregate_goodput_bps": res.aggregate_goodput_bps(),
+            "drops": float(res.drops),
+            "timeouts": float(res.timeouts),
+        },
+        series={"queue_series": list(res.queue_series)},
+    )

@@ -18,7 +18,7 @@ from ..metrics.samplers import QueueSampler, RateSampler, Series
 from ..net.topology import multi_bottleneck
 from ..sim.units import microseconds, milliseconds, seconds
 from ..transport.registry import open_flow
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -96,3 +96,22 @@ def run_fig11(
     result.s2_queue_series = s2_queue.series
     result.drops = net.total_drops()
     return result
+
+
+def run_fig11_cell(
+    protocol: str = "tfc",
+    duration_s: float = 1.0,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    res = run_fig11(protocol=protocol, duration_s=duration_s, seed=seed)
+    return ExperimentResult(
+        name=f"fig11:{protocol}:seed{seed}",
+        protocol=protocol,
+        scalars={
+            "s1_goodput_bps": res.s1_goodput_bps(),
+            "s2_goodput_bps": res.s2_goodput_bps(),
+            "s2_queue_mean_bytes": res.s2_queue_mean_bytes(),
+            "drops": float(res.drops),
+        },
+    )

@@ -23,7 +23,7 @@ from ..metrics.samplers import QueueSampler
 from ..net.topology import dumbbell
 from ..sim.units import GBPS, MILLISECOND, microseconds, seconds
 from ..workloads.incast import IncastCoordinator
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -145,3 +145,41 @@ def run_fig15(
                 for n in sender_counts
             ]
     return results
+
+
+def run_incast_cell(
+    protocol: str,
+    n_senders: int,
+    block_bytes: int = 256_000,
+    rounds: int = 10,
+    rate_bps: int = GBPS,
+    buffer_bytes: int = 256_000,
+    min_rto_ns: int = 10 * MILLISECOND,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    point = run_incast_point(
+        protocol,
+        n_senders,
+        block_bytes=block_bytes,
+        rounds=rounds,
+        rate_bps=rate_bps,
+        buffer_bytes=buffer_bytes,
+        min_rto_ns=min_rto_ns,
+        seed=seed,
+    )
+    return ExperimentResult(
+        name=f"fig12:{protocol}:n{n_senders}:blk{block_bytes}:seed{seed}",
+        protocol=protocol,
+        scalars={
+            "n_senders": float(point.n_senders),
+            "block_bytes": float(point.block_bytes),
+            "goodput_bps": point.goodput_bps,
+            "rounds_completed": float(point.rounds_completed),
+            "max_timeouts_per_block": point.max_timeouts_per_block,
+            "total_timeouts": float(point.total_timeouts),
+            "queue_mean_bytes": point.queue_mean_bytes,
+            "queue_max_bytes": point.queue_max_bytes,
+            "drops": float(point.drops),
+        },
+    )

@@ -22,7 +22,7 @@ from ..metrics.fct import FctCollector
 from ..net.topology import leaf_spine, testbed
 from ..sim.units import MILLISECOND, seconds
 from ..workloads.empirical import BenchmarkWorkload
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -116,3 +116,50 @@ def run_fig16(
 ) -> Dict[str, BenchmarkResult]:
     """Fig. 16: the benchmark on the 360-server leaf-spine, per protocol."""
     return {p: run_benchmark(p, scale="large", **kwargs) for p in protocols}
+
+
+def run_benchmark_cell(
+    protocol: str,
+    scale: str = "testbed",
+    duration_s: float = 2.0,
+    drain_s: float = 1.0,
+    query_rate_per_s: float = 200.0,
+    min_rto_ns: int = 200 * MILLISECOND,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner.
+
+    Flattens the FCT collector into plain scalars/series so the result
+    crosses a process boundary without dragging simulation objects along.
+    """
+    res = run_benchmark(
+        protocol,
+        scale=scale,
+        duration_s=duration_s,
+        drain_s=drain_s,
+        query_rate_per_s=query_rate_per_s,
+        min_rto_ns=min_rto_ns,
+        seed=seed,
+    )
+    scalars = {
+        "flows_launched": float(res.flows_launched),
+        "completed": float(res.collector.completed()),
+        "completion_fraction": res.completion_fraction(),
+        "drops": float(res.drops),
+        "total_timeouts": float(res.collector.total_timeouts()),
+    }
+    if res.collector.completed("query"):
+        for key, value in res.query_summary_us().items():
+            scalars[f"query_fct_us:{key}"] = value
+    for bucket, value in res.background_p999_us().items():
+        scalars[f"bg_p999_us:{bucket}"] = value
+    records = sorted(
+        (r.category, r.size_bytes, r.fct_ns, r.timeouts)
+        for r in res.collector.records
+    )
+    return ExperimentResult(
+        name=f"fig13:{scale}:{protocol}:seed{seed}",
+        protocol=protocol,
+        scalars=scalars,
+        series={"fct_records": records},
+    )

@@ -17,7 +17,7 @@ from ..metrics.samplers import QueueSampler, RateSampler
 from ..net.topology import testbed
 from ..sim.units import microseconds, milliseconds, seconds
 from ..transport.registry import open_flow
-from .common import build_topology
+from .common import ExperimentResult, build_topology
 
 
 @dataclass
@@ -81,3 +81,24 @@ def run_fig14(
         run_rho_point(rho0, n_flows=n_flows, duration_s=duration_s, seed=seed)
         for rho0 in rho_values
     ]
+
+
+def run_rho_cell(
+    rho0: float,
+    n_flows: int = 5,
+    duration_s: float = 1.0,
+    seed: int = 0,
+) -> "ExperimentResult":
+    """Picklable cell adapter for the parallel runner."""
+    point = run_rho_point(rho0, n_flows=n_flows, duration_s=duration_s, seed=seed)
+    return ExperimentResult(
+        name=f"fig14:rho{rho0:.2f}:seed{seed}",
+        protocol="tfc",
+        scalars={
+            "rho0": point.rho0,
+            "goodput_bps": point.goodput_bps,
+            "queue_mean_bytes": point.queue_mean_bytes,
+            "queue_max_bytes": point.queue_max_bytes,
+            "drops": float(point.drops),
+        },
+    )

@@ -1,0 +1,315 @@
+"""Parallel experiment runner.
+
+Every paper figure decomposes into independent *cells* — one
+``(figure, protocol, seed, load-point)`` simulation that shares nothing
+with its neighbours.  This module fans those cells out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` (simulations are pure
+CPU, so threads would serialise on the GIL) and reassembles the results
+in submission order.
+
+Determinism is preserved across worker counts: each cell's child seed is
+:func:`~repro.experiments.common.derive_cell_seed` of the root seed and
+the cell's identity labels, so ``--jobs 8`` returns bit-identical
+:class:`~repro.experiments.common.ExperimentResult` objects to a serial
+run — only wall-clock changes.  ``jobs <= 1`` never touches
+multiprocessing at all (the serial fallback tests rely on), and a pool
+that cannot start (sandboxes without /dev/shm, missing semaphores) falls
+back to the same serial path with a warning instead of dying.
+
+CLI::
+
+    python -m repro.experiments.runner --figures fig13 fig14 --jobs 4
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import sys
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from .common import ALL_PROTOCOLS, ExperimentResult, derive_cell_seed, format_table
+from .fig06_rttb import run_fig06_cell
+from .fig07_ne import run_fig07_cell
+from .fig08_queue import run_staggered_cell
+from .fig11_work_conserving import run_fig11_cell
+from .fig12_incast import run_incast_cell
+from .fig13_benchmark import run_benchmark_cell
+from .fig14_rho import run_rho_cell
+
+CellFn = Callable[..., ExperimentResult]
+
+#: Figure name -> picklable cell entry point.  Every entry point returns an
+#: :class:`ExperimentResult` (plain scalars + series), so results pickle
+#: cleanly across the process boundary.
+FIGURE_CELLS: Dict[str, CellFn] = {
+    "fig06": run_fig06_cell,
+    "fig07": run_fig07_cell,
+    "fig08": run_staggered_cell,
+    "fig11": run_fig11_cell,
+    "fig12": run_incast_cell,
+    "fig13": run_benchmark_cell,
+    "fig14": run_rho_cell,
+}
+
+
+class RunnerError(RuntimeError):
+    """A cell failed in a worker; carries the cell label and remote traceback."""
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One independent unit of work: a figure entry point plus kwargs.
+
+    ``kwargs`` must be picklable (they cross the process boundary).  The
+    ``seed`` kwarg, when absent, is derived from ``root_seed`` and the
+    cell's identity so results do not depend on scheduling order.
+    """
+
+    figure: str
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        parts = [f"{k}={v}" for k, v in sorted(self.kwargs.items())]
+        return f"{self.figure}({', '.join(parts)})"
+
+    def resolved(self, root_seed: int) -> "CellSpec":
+        """Fill in the cell seed if the caller did not pin one."""
+        if "seed" in self.kwargs:
+            return self
+        labels = [self.figure] + [
+            f"{k}={self.kwargs[k]}" for k in sorted(self.kwargs)
+        ]
+        seed = derive_cell_seed(root_seed, *labels)
+        return CellSpec(self.figure, {**self.kwargs, "seed": seed})
+
+
+def _execute_cell(spec: CellSpec) -> ExperimentResult:
+    """Worker entry point: run one cell to completion.
+
+    Exceptions are re-raised as :class:`RunnerError` *here*, inside the
+    worker, so the parent receives a picklable error that names the cell —
+    arbitrary exception types (with simulation objects attached) may not
+    survive the return trip.
+    """
+    fn = FIGURE_CELLS.get(spec.figure)
+    if fn is None:
+        raise RunnerError(
+            f"unknown figure {spec.figure!r}; "
+            f"known: {', '.join(sorted(FIGURE_CELLS))}"
+        )
+    try:
+        return fn(**spec.kwargs)
+    except RunnerError:
+        raise
+    except BaseException as exc:
+        raise RunnerError(
+            f"cell {spec.label} failed: {exc!r}\n{traceback.format_exc()}"
+        ) from None
+
+
+def run_cells(
+    specs: Sequence[CellSpec],
+    jobs: int = 1,
+    root_seed: int = 0,
+) -> List[ExperimentResult]:
+    """Run every cell and return results in the order specs were given.
+
+    ``jobs <= 1`` runs everything in-process (no multiprocessing import
+    side effects — the path tests use).  ``jobs > 1`` fans out over a
+    process pool; a pool that cannot even start degrades to the serial
+    path, but a cell that *fails* always surfaces as :class:`RunnerError`.
+    """
+    resolved = [spec.resolved(root_seed) for spec in specs]
+    if jobs > 1 and len(resolved) > 1:
+        try:
+            return _run_pool(resolved, jobs)
+        except RunnerError:
+            raise
+        except (OSError, ImportError, PermissionError) as exc:
+            print(
+                f"runner: process pool unavailable ({exc!r}); "
+                "falling back to serial execution",
+                file=sys.stderr,
+            )
+    return [_execute_cell(spec) for spec in resolved]
+
+
+def _run_pool(specs: List[CellSpec], jobs: int) -> List[ExperimentResult]:
+    from concurrent.futures import ProcessPoolExecutor
+    from concurrent.futures.process import BrokenProcessPool
+
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_execute_cell, spec) for spec in specs]
+        results: List[ExperimentResult] = []
+        for spec, future in zip(specs, futures):
+            try:
+                results.append(future.result())
+            except RunnerError:
+                raise
+            except BrokenProcessPool as exc:
+                raise RunnerError(
+                    f"worker process died while running {spec.label} "
+                    f"(or an earlier cell): {exc!r}"
+                ) from None
+        return results
+
+
+# ----------------------------------------------------------------------
+# Default sweep plans (what the CLI runs per figure)
+# ----------------------------------------------------------------------
+def default_plan(
+    figures: Sequence[str],
+    quick: bool = False,
+) -> List[CellSpec]:
+    """The standard cell decomposition for each requested figure.
+
+    ``quick`` shrinks durations/sweeps for smoke runs (CI, tests); the
+    full plan matches the figure drivers' paper-scale defaults.
+    """
+    specs: List[CellSpec] = []
+    for figure in figures:
+        if figure == "fig06":
+            specs.append(
+                CellSpec("fig06", {"duration_s": 0.5 if quick else 4.0})
+            )
+        elif figure == "fig07":
+            specs.append(
+                CellSpec("fig07", {"n1_max": 4 if quick else 10})
+            )
+        elif figure == "fig08":
+            for protocol in ALL_PROTOCOLS:
+                specs.append(
+                    CellSpec(
+                        "fig08",
+                        {
+                            "protocol": protocol,
+                            "interval_s": 0.05 if quick else 0.25,
+                            "tail_s": 0.1 if quick else 0.5,
+                        },
+                    )
+                )
+        elif figure == "fig11":
+            for protocol in ALL_PROTOCOLS:
+                specs.append(
+                    CellSpec(
+                        "fig11",
+                        {
+                            "protocol": protocol,
+                            "duration_s": 0.2 if quick else 1.0,
+                        },
+                    )
+                )
+        elif figure == "fig12":
+            counts = (5, 10) if quick else (5, 10, 20, 40, 60, 80, 100)
+            for protocol in ALL_PROTOCOLS:
+                for n in counts:
+                    specs.append(
+                        CellSpec(
+                            "fig12",
+                            {
+                                "protocol": protocol,
+                                "n_senders": n,
+                                "rounds": 2 if quick else 10,
+                            },
+                        )
+                    )
+        elif figure == "fig13":
+            for protocol in ALL_PROTOCOLS:
+                specs.append(
+                    CellSpec(
+                        "fig13",
+                        {
+                            "protocol": protocol,
+                            "duration_s": 0.3 if quick else 2.0,
+                            "drain_s": 0.3 if quick else 1.0,
+                        },
+                    )
+                )
+        elif figure == "fig14":
+            rhos = (0.94, 1.00) if quick else (0.90, 0.92, 0.94, 0.96, 0.98, 1.00)
+            for rho0 in rhos:
+                specs.append(
+                    CellSpec(
+                        "fig14",
+                        {"rho0": rho0, "duration_s": 0.2 if quick else 1.0},
+                    )
+                )
+        else:
+            raise RunnerError(
+                f"no default plan for {figure!r}; "
+                f"known: {', '.join(sorted(FIGURE_CELLS))}"
+            )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run paper-figure experiment cells, optionally in parallel.",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=["fig13"],
+        choices=sorted(FIGURE_CELLS),
+        help="figures to run (default: fig13)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes; 1 = serial in-process (default: 1). "
+        "0 means one per CPU.",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root seed")
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shrunken durations/sweeps for smoke runs",
+    )
+    parser.add_argument(
+        "--pickle",
+        metavar="PATH",
+        default=None,
+        help="dump the ExperimentResult list to PATH (pickle format)",
+    )
+    args = parser.parse_args(argv)
+
+    jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
+    specs = default_plan(args.figures, quick=args.quick)
+    print(
+        f"running {len(specs)} cells across {', '.join(args.figures)} "
+        f"with jobs={jobs}"
+    )
+    start = time.perf_counter()
+    results = run_cells(specs, jobs=jobs, root_seed=args.seed)
+    elapsed = time.perf_counter() - start
+
+    rows = []
+    for result in results:
+        headline = ", ".join(
+            f"{k}={v:.4g}" for k, v in list(result.scalars.items())[:4]
+        )
+        rows.append([result.name, result.protocol, headline])
+    print(format_table(["cell", "protocol", "headline scalars"], rows))
+    print(f"{len(results)} cells in {elapsed:.2f}s wall-clock (jobs={jobs})")
+
+    if args.pickle:
+        with open(args.pickle, "wb") as fh:
+            pickle.dump(results, fh)
+        print(f"results pickled to {args.pickle}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

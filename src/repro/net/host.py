@@ -43,6 +43,7 @@ class Host(Endpoint):
     ):
         super().__init__(sim, node_id, name, tracer)
         self._rng = seeds.stream(f"host:{name}:proc")
+        self._randrange = self._rng.randrange  # bound once; per-packet call
         self.processing_delay_ns = processing_delay_ns
         self.processing_jitter_ns = processing_jitter_ns
         self._connections: Dict[FlowKey, PacketSink] = {}
@@ -123,8 +124,9 @@ class Host(Endpoint):
 
     def _schedule_delivery(self, packet: Packet) -> None:
         delay = self.processing_delay_ns
-        if self.processing_jitter_ns > 0:
-            delay += self._rng.randrange(self.processing_jitter_ns + 1)
+        jitter = self.processing_jitter_ns
+        if jitter > 0:
+            delay += self._randrange(jitter + 1)
         self.sim.schedule(delay, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:

@@ -74,11 +74,10 @@ class Switch(Node):
     """
 
     def handle_packet(self, packet: Packet, in_port_index: int) -> None:
-        in_port = (
-            self.ports[in_port_index] if 0 <= in_port_index < len(self.ports) else None
-        )
-        if in_port is not None and in_port.agent is not None:
-            if in_port.agent.on_reverse_arrival(packet):
+        ports = self.ports
+        if 0 <= in_port_index < len(ports):
+            agent = ports[in_port_index].agent
+            if agent is not None and agent.on_reverse_arrival(packet):
                 return  # held by the delay arbiter; re-injected later
         self.forward(packet)
 

@@ -43,11 +43,12 @@ class Packet:
 
     __slots__ = (
         "packet_id", "src", "dst", "sport", "dport",
-        "seq", "ack", "payload",
+        "seq", "ack", "_payload",
         "syn", "fin", "is_ack",
         "rm", "rma", "window", "weight",
         "ecn_capable", "ecn_ce", "ecn_echo",
         "sent_at", "retransmitted", "hops",
+        "size", "frame_size", "flow_key", "reverse_flow_key",
     )
 
     def __init__(
@@ -74,7 +75,15 @@ class Packet:
         self.dport = dport
         self.seq = seq
         self.ack = ack
-        self.payload = payload
+        self._payload = payload
+        # Sizes and flow keys are read on every enqueue/serialise/stat bump
+        # but written only here (and via the payload setter), so they are
+        # precomputed attributes rather than recomputed properties.
+        self.size = payload + HEADER_BYTES
+        frame = payload + HEADER_BYTES + ETHERNET_OVERHEAD
+        self.frame_size = frame if frame >= MIN_FRAME_BYTES else MIN_FRAME_BYTES
+        self.flow_key = (src, dst, sport, dport)
+        self.reverse_flow_key = (dst, src, dport, sport)
         self.syn = syn
         self.fin = fin
         self.is_ack = is_ack
@@ -93,27 +102,16 @@ class Packet:
     # Sizes
     # ------------------------------------------------------------------
     @property
-    def size(self) -> int:
-        """Bytes occupied in switch buffers (IP packet size)."""
-        return self.payload + HEADER_BYTES
+    def payload(self) -> int:
+        """Application bytes carried; assignment recomputes the sizes."""
+        return self._payload
 
-    @property
-    def frame_size(self) -> int:
-        """Bytes serialised on the wire (Ethernet frame size)."""
-        return max(self.size + ETHERNET_OVERHEAD, MIN_FRAME_BYTES)
-
-    # ------------------------------------------------------------------
-    # Identity
-    # ------------------------------------------------------------------
-    @property
-    def flow_key(self) -> FlowKey:
-        """Five-tuple identity of the flow this packet belongs to."""
-        return (self.src, self.dst, self.sport, self.dport)
-
-    @property
-    def reverse_flow_key(self) -> FlowKey:
-        """Flow key of the opposite direction (for demux of ACKs)."""
-        return (self.dst, self.src, self.dport, self.sport)
+    @payload.setter
+    def payload(self, value: int) -> None:
+        self._payload = value
+        self.size = value + HEADER_BYTES
+        frame = value + HEADER_BYTES + ETHERNET_OVERHEAD
+        self.frame_size = frame if frame >= MIN_FRAME_BYTES else MIN_FRAME_BYTES
 
     @property
     def end_seq(self) -> int:

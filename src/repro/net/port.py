@@ -50,15 +50,25 @@ class Link:
         self.dst_node = dst_node
         self.dst_port_index = dst_port_index
         self.up = True
-        self.rate_factor = 1.0
+        self._rate_factor = 1.0
+        # Serialisation rate after degradation, cached as a plain attribute
+        # (read once per transmitted frame) and refreshed only when the
+        # factor changes.
+        self.effective_rate_bps = rate_bps
         self.faulted_frames = 0
 
     @property
-    def effective_rate_bps(self) -> int:
-        """Serialisation rate after any injected degradation."""
-        if self.rate_factor >= 1.0:
-            return self.rate_bps
-        return max(int(self.rate_bps * self.rate_factor), 1)
+    def rate_factor(self) -> float:
+        """Injected serialisation-rate degradation factor (1.0 = healthy)."""
+        return self._rate_factor
+
+    @rate_factor.setter
+    def rate_factor(self, factor: float) -> None:
+        self._rate_factor = factor
+        if factor >= 1.0:
+            self.effective_rate_bps = self.rate_bps
+        else:
+            self.effective_rate_bps = max(int(self.rate_bps * factor), 1)
 
     def degrade(self, factor: float) -> None:
         """Scale the serialisation rate by ``factor`` (0 < factor <= 1)."""
@@ -71,15 +81,19 @@ class Link:
         self.rate_factor = 1.0
 
     def carry(self, packet: Packet) -> None:
-        """Deliver a fully serialised frame to the far end after the delay."""
+        """Deliver a fully serialised frame to the far end after the delay.
+
+        Kept for external callers and tests; the :class:`Port` transmit
+        path inlines this (one scheduled delivery straight to the
+        destination node) because the propagation delay is static.
+        """
         if not self.up:
             self.faulted_frames += 1
             return  # the cable is cut; the frame vanishes
-        self._sim.schedule(self.delay_ns, self._arrive, packet)
-
-    def _arrive(self, packet: Packet) -> None:
         packet.hops += 1
-        self.dst_node.receive(packet, self.dst_port_index)
+        self._sim.schedule(
+            self.delay_ns, self.dst_node.receive, packet, self.dst_port_index
+        )
 
 
 class Port:
@@ -123,8 +137,12 @@ class Port:
     def send(self, packet: Packet) -> bool:
         """Queue ``packet`` for transmission; False if drop-tail rejected it."""
         if not self.queue.enqueue(packet):
-            if self.tracer is not None:
-                self.tracer.emit(PACKET_DROP, packet=packet, port=self)
+            tracer = self.tracer
+            if tracer is not None:
+                if tracer.active(PACKET_DROP):
+                    tracer.emit(PACKET_DROP, packet=packet, port=self)
+                else:
+                    tracer.bump(PACKET_DROP)
             return False
         if not self._busy and not self.paused:
             self._start_next()
@@ -159,9 +177,19 @@ class Port:
         self._sim.schedule(tx_ns, self._finish_tx, packet)
 
     def _finish_tx(self, packet: Packet) -> None:
+        # One scheduled delivery straight to the peer node: the propagation
+        # delay is static, so the Link.carry -> schedule(_arrive) hop adds
+        # nothing but call overhead on this per-frame path.
         self.tx_packets += 1
         self.tx_bytes += packet.frame_size
-        self.link.carry(packet)
+        link = self.link
+        if link.up:
+            packet.hops += 1
+            self._sim.schedule(
+                link.delay_ns, link.dst_node.receive, packet, link.dst_port_index
+            )
+        else:
+            link.faulted_frames += 1
         self._start_next()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

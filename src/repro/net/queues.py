@@ -161,21 +161,23 @@ class DropTailQueue:
 
     def enqueue(self, packet: Packet) -> bool:
         """Append ``packet``; returns False (and counts a drop) on overflow."""
+        size = packet.size
         if self.loss_model is not None and self.loss_model.should_drop(packet):
             self.faulted_drops += 1
             self.drops += 1
-            self.dropped_bytes += packet.size
+            self.dropped_bytes += size
             return False
-        if not self.admit(packet):
+        new_bytes = self._bytes + size
+        if new_bytes > self.capacity_bytes:
             self.drops += 1
-            self.dropped_bytes += packet.size
+            self.dropped_bytes += size
             return False
         self._mark(packet)
         self._queue.append(packet)
-        self._bytes += packet.size
+        self._bytes = new_bytes
         self.enqueues += 1
-        if self._bytes > self.max_bytes_seen:
-            self.max_bytes_seen = self._bytes
+        if new_bytes > self.max_bytes_seen:
+            self.max_bytes_seen = new_bytes
         return True
 
     def dequeue(self) -> Optional[Packet]:

@@ -1,0 +1,26 @@
+"""Performance-regression harness.
+
+Pinned workloads (:mod:`repro.perf.workloads`) measure kernel events/sec
+and per-experiment-cell wall-clock; :mod:`repro.perf.bench` writes the
+``BENCH_kernel.json`` / ``BENCH_experiments.json`` snapshots committed at
+the repo root, and :mod:`repro.perf.compare` fails (exit 1) when a fresh
+measurement regresses more than 15% against the committed snapshot.
+"""
+
+from .workloads import (
+    EXPERIMENT_WORKLOADS,
+    KERNEL_WORKLOADS,
+    ExperimentWorkload,
+    KernelWorkload,
+    run_experiment_workload,
+    run_kernel_workload,
+)
+
+__all__ = [
+    "EXPERIMENT_WORKLOADS",
+    "KERNEL_WORKLOADS",
+    "ExperimentWorkload",
+    "KernelWorkload",
+    "run_experiment_workload",
+    "run_kernel_workload",
+]

@@ -1,0 +1,118 @@
+"""Pinned benchmark workloads.
+
+These definitions are the contract between past and future measurements:
+the committed ``BENCH_*.json`` baselines were produced by *exactly* these
+configurations, so do not change a workload in place — add a new one with
+a new name, keep the old, and regenerate the baseline.
+
+Two tiers:
+
+* **Kernel workloads** — dumbbell saturation runs dominated by the event
+  loop, queue, and port machinery.  The metric is simulator events per
+  wall-clock second; it moves with kernel fast-path changes and very
+  little else.
+* **Experiment workloads** — one Fig. 13 benchmark cell per protocol at
+  reduced duration.  The metric is wall-clock per cell; it tracks what a
+  user actually waits for when regenerating figures.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from ..experiments.common import build_topology
+from ..net.topology import dumbbell
+from ..sim.units import seconds
+from ..transport.registry import open_flow
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """An n-sender dumbbell saturated for a fixed simulated duration."""
+
+    name: str
+    protocol: str
+    n_senders: int
+    seed: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
+class ExperimentWorkload:
+    """One Fig. 13 testbed benchmark cell (workload generator + FCT)."""
+
+    name: str
+    protocol: str
+    duration_s: float
+    drain_s: float
+    seed: int
+
+
+KERNEL_WORKLOADS: Tuple[KernelWorkload, ...] = (
+    KernelWorkload("dumbbell_tfc_4", "tfc", 4, 1, 0.4),
+    KernelWorkload("dumbbell_dctcp_8", "dctcp", 8, 2, 0.2),
+    KernelWorkload("dumbbell_tcp_8", "tcp", 8, 3, 0.2),
+)
+
+EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
+    ExperimentWorkload("fig13_testbed_tfc", "tfc", 0.3, 0.3, 0),
+    ExperimentWorkload("fig13_testbed_dctcp", "dctcp", 0.3, 0.3, 0),
+    ExperimentWorkload("fig13_testbed_tcp", "tcp", 0.3, 0.3, 0),
+)
+
+
+def run_kernel_workload(
+    workload: KernelWorkload, duration_scale: float = 1.0
+) -> Dict[str, float]:
+    """Run one kernel workload; returns events, wall_s, events_per_sec.
+
+    ``duration_scale`` shrinks the simulated window for smoke runs (CI);
+    scaled runs are *not* comparable against the committed baselines.
+    """
+    topo = build_topology(
+        dumbbell,
+        workload.protocol,
+        buffer_bytes=256_000,
+        n_senders=workload.n_senders,
+        seed=workload.seed,
+    )
+    receiver = topo.host(workload.n_senders)
+    for i in range(workload.n_senders):
+        open_flow(topo.host(i), receiver, workload.protocol)
+    start = time.perf_counter()
+    topo.network.run_for(seconds(workload.duration_s * duration_scale))
+    wall = time.perf_counter() - start
+    events = topo.sim.events_processed
+    return {
+        "name": workload.name,
+        "protocol": workload.protocol,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_experiment_workload(
+    workload: ExperimentWorkload, duration_scale: float = 1.0
+) -> Dict[str, float]:
+    """Run one Fig. 13 cell; returns wall-clock seconds for the cell."""
+    from ..experiments.fig13_benchmark import run_benchmark
+
+    start = time.perf_counter()
+    result = run_benchmark(
+        workload.protocol,
+        scale="testbed",
+        duration_s=workload.duration_s * duration_scale,
+        drain_s=workload.drain_s * duration_scale,
+        seed=workload.seed,
+    )
+    wall = time.perf_counter() - start
+    return {
+        "name": workload.name,
+        "protocol": workload.protocol,
+        "wall_s": wall,
+        "flows_launched": result.flows_launched,
+        "completed": result.collector.completed(),
+    }

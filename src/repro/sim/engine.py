@@ -8,38 +8,95 @@ sequence number), which makes every run fully deterministic.
 The kernel is deliberately tiny: components interact only through
 ``schedule`` / ``cancel`` and the read-only ``now`` property.  Everything
 network-specific lives in :mod:`repro.net` and above.
+
+Fast-path design (measured on the pinned dumbbell workloads, see
+``repro.perf``):
+
+* The heap stores ``(time, seq, event)`` tuples, not :class:`Event`
+  objects, so heap sift compares happen in C tuple comparison instead of
+  ``Event.__lt__`` — the single largest cost in the seed kernel.
+  ``(time, seq)`` is unique per event, so the comparison never reaches the
+  event object itself.
+* Executed and cancelled-and-popped events are recycled through a free
+  list instead of being garbage; :meth:`schedule` reuses them.  A retired
+  event keeps ``cancelled = True`` until reuse, so a stale ``cancel()``
+  on an already-fired handle is a no-op.  The one contract this imposes on
+  callers: do not retain an :class:`Event` handle across its own firing
+  and cancel it later — use :class:`repro.sim.timers.Timer`, which clears
+  its handle before the callback runs, for restartable semantics.
+* Live (non-cancelled) events are counted incrementally, so
+  :attr:`pending_events` is O(1) instead of an O(n) heap scan.
+* When more than half the heap is dead (cancelled timers that were never
+  popped — long-RTO transports generate these in bulk) the heap is
+  compacted in place, bounding both memory and sift depth.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from heapq import heappop as _heappop, heappush as _heappush
+from typing import Any, Callable, List, Optional, Tuple
 
 from .units import SECOND, to_seconds
 
 Callback = Callable[..., None]
 
+# Sentinels letting the run loop test bounds with plain comparisons
+# instead of per-event ``is not None`` checks.
+_NO_HORIZON = 1 << 62
+_NO_LIMIT = 1 << 62
+
+# Compaction fires when the heap holds more dead entries than live ones and
+# is big enough for the O(n) rebuild to pay for itself.
+_COMPACT_MIN_HEAP = 256
+
+HeapEntry = Tuple[int, int, "Event"]
+
 
 class Event:
-    """A scheduled callback.
+    """A scheduled callback (the cancellation handle returned by ``schedule``).
 
-    Events are created through :meth:`Simulator.schedule` and compared by
+    Events are created through :meth:`Simulator.schedule` and ordered by
     ``(time, seq)`` so the heap pops them in deterministic order.  Cancelling
-    marks the event dead; the heap lazily discards dead entries.
+    marks the event dead and drops its callback/argument references
+    immediately (so cancelled retransmission timers stop pinning packets);
+    the heap lazily discards the dead entry, or a compaction sweep removes
+    it earlier.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "sim")
 
-    def __init__(self, time: int, seq: int, callback: Callback, args: tuple):
+    def __init__(
+        self,
+        time: int,
+        seq: int,
+        callback: Optional[Callback],
+        args: tuple,
+        sim: Optional["Simulator"] = None,
+    ):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self.sim = sim
 
     def cancel(self) -> None:
-        """Mark this event so the engine skips it when popped."""
+        """Mark this event dead so the engine skips it when popped.
+
+        Idempotent; also a no-op on an event that has already fired.  The
+        callback and argument references are nulled out right away so the
+        objects they pin (packets, senders) are reclaimable without waiting
+        for the dead heap entry to surface.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        self.callback = None
+        self.args = ()
+        sim = self.sim
+        if sim is not None:
+            sim._note_cancel()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -62,7 +119,10 @@ class Simulator:
     def __init__(self) -> None:
         self._now: int = 0
         self._seq: int = 0
-        self._heap: list[Event] = []
+        self._heap: List[HeapEntry] = []
+        self._free: List[Event] = []
+        self._live: int = 0
+        self._dead: int = 0
         self._running = False
         self._events_processed = 0
 
@@ -86,8 +146,8 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -96,7 +156,22 @@ class Simulator:
         """Schedule ``callback(*args)`` to run ``delay_ns`` from now."""
         if delay_ns < 0:
             raise SimulationError(f"cannot schedule {delay_ns}ns in the past")
-        return self.schedule_at(self._now + delay_ns, callback, *args)
+        time_ns = self._now + delay_ns
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        free = self._free
+        if free:
+            event = free.pop()
+            event.time = time_ns
+            event.seq = seq
+            event.callback = callback
+            event.args = args
+            event.cancelled = False
+        else:
+            event = Event(time_ns, seq, callback, args, self)
+        _heappush(self._heap, (time_ns, seq, event))
+        return event
 
     def schedule_at(self, time_ns: int, callback: Callback, *args: Any) -> Event:
         """Schedule ``callback(*args)`` at absolute time ``time_ns``."""
@@ -104,10 +179,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {time_ns}ns, now is {self._now}ns"
             )
-        event = Event(time_ns, self._seq, callback, args)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return event
+        return self.schedule(time_ns - self._now, callback, *args)
+
+    # ------------------------------------------------------------------
+    # Free-list / dead-entry bookkeeping (called from Event.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancel(self) -> None:
+        self._live -= 1
+        self._dead += 1
+        if (
+            self._dead >= _COMPACT_MIN_HEAP
+            and self._dead * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop dead entries and re-heapify, reusing the same list object.
+
+        In-place (slice assignment) so the ``run`` loop's local alias of the
+        heap stays valid even when a callback's cancel triggers compaction
+        mid-run.
+        """
+        heap = self._heap
+        free = self._free
+        live_entries = []
+        for entry in heap:
+            event = entry[2]
+            if event.cancelled:
+                free.append(event)
+            else:
+                live_entries.append(entry)
+        heap[:] = live_entries
+        heapq.heapify(heap)
+        self._dead = 0
 
     # ------------------------------------------------------------------
     # Execution
@@ -128,28 +232,60 @@ class Simulator:
             raise SimulationError("simulator is not re-entrant")
         self._running = True
         processed = 0
+        heap = self._heap
+        free = self._free
+        horizon = _NO_HORIZON if until_ns is None else until_ns
+        limit = _NO_LIMIT if max_events is None else max_events
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                entry = heap[0]
+                event = entry[2]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    _heappop(heap)
+                    self._dead -= 1
+                    free.append(event)
                     continue
-                if until_ns is not None and event.time > until_ns:
+                if entry[0] > horizon or processed >= limit:
                     break
-                if max_events is not None and processed >= max_events:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                event.callback(*event.args)
+                _heappop(heap)
+                self._now = entry[0]
+                callback = event.callback
+                args = event.args
+                # Retire the handle before the callback runs: a stale
+                # cancel() inside the callback must not double-count.
+                event.cancelled = True
+                event.callback = None
+                event.args = ()
+                callback(*args)
+                free.append(event)
                 processed += 1
-                self._events_processed += 1
         finally:
             self._running = False
+            # Batched counter updates: nothing reads these mid-run, and
+            # per-event attribute writes are measurable at this call rate.
+            self._events_processed += processed
+            self._live -= processed
         if until_ns is not None and self._now < until_ns:
-            remaining = [e for e in self._heap if not e.cancelled]
-            if not remaining or min(remaining).time > until_ns:
+            # Park the clock at the horizon unless a live event remains
+            # inside it (only possible when max_events stopped us early).
+            next_live = self._next_live_time()
+            if next_live is None or next_live > until_ns:
                 self._now = until_ns
         return processed
+
+    def _next_live_time(self) -> Optional[int]:
+        """Time of the earliest live event, discarding dead heap heads."""
+        heap = self._heap
+        free = self._free
+        while heap:
+            event = heap[0][2]
+            if event.cancelled:
+                heapq.heappop(heap)
+                self._dead -= 1
+                free.append(event)
+                continue
+            return heap[0][0]
+        return None
 
     def run_for(self, duration_ns: int) -> int:
         """Run for ``duration_ns`` of simulated time from the current clock."""
@@ -158,5 +294,5 @@ class Simulator:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"<Simulator t={self._now / SECOND:.6f}s"
-            f" pending={len(self._heap)} done={self._events_processed}>"
+            f" pending={self._live} done={self._events_processed}>"
         )

@@ -2,9 +2,16 @@
 
 Components emit named trace records (packet drops, retransmission timeouts,
 window updates, delimiter re-elections...) without knowing who is listening.
-Experiments and tests subscribe to the records they care about.  When nothing
-subscribes to a topic the emit costs one dict lookup, so tracing can stay in
-the hot path.
+Experiments and tests subscribe to the records they care about.
+
+Hot-path protocol: emission sites that fire per packet first ask
+:meth:`Tracer.active` whether the topic has any subscriber.  When it does
+not — the overwhelmingly common case — they call :meth:`Tracer.bump`, which
+only increments the topic counter and never marshals keyword arguments.
+The full :meth:`Tracer.emit` (counter bump + handler fan-out) is reserved
+for the subscribed case and for cold paths where the marshalling cost is
+irrelevant.  Both paths keep the per-topic counters identical, so tests
+asserting on ``count`` see the same numbers either way.
 """
 
 from __future__ import annotations
@@ -21,21 +28,34 @@ class Tracer:
     def __init__(self) -> None:
         self._handlers: DefaultDict[str, List[TraceHandler]] = defaultdict(list)
         self.counters: DefaultDict[str, int] = defaultdict(int)
+        # Topics with at least one handler; hot paths membership-test this
+        # set instead of touching the handler table.
+        self._active: set = set()
 
     def subscribe(self, topic: str, handler: TraceHandler) -> None:
         """Register ``handler`` to be called for every ``topic`` emission."""
         self._handlers[topic].append(handler)
+        self._active.add(topic)
 
     def unsubscribe(self, topic: str, handler: TraceHandler) -> None:
         """Remove a previously registered handler."""
         self._handlers[topic].remove(handler)
+        if not self._handlers[topic]:
+            self._active.discard(topic)
+
+    def active(self, topic: str) -> bool:
+        """Whether ``topic`` currently has any subscriber."""
+        return topic in self._active
+
+    def bump(self, topic: str) -> None:
+        """Count an emission without dispatching (no-subscriber fast path)."""
+        self.counters[topic] += 1
 
     def emit(self, topic: str, *args: Any, **kwargs: Any) -> None:
         """Publish a record: bump the topic counter and notify handlers."""
         self.counters[topic] += 1
-        handlers = self._handlers.get(topic)
-        if handlers:
-            for handler in handlers:
+        if topic in self._active:
+            for handler in self._handlers[topic]:
                 handler(*args, **kwargs)
 
     def count(self, topic: str) -> int:

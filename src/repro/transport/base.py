@@ -237,7 +237,10 @@ class Sender:
         packet = self._make_packet(seq=seq, payload=length)
         packet.retransmitted = retransmission
         self.next_packet_hook(packet)
-        self._inflight[seq] = (length, retransmission or self._inflight.get(seq, (0, False))[1])
+        if not retransmission:
+            previous = self._inflight.get(seq)
+            retransmission = previous is not None and previous[1]
+        self._inflight[seq] = (length, retransmission)
         self.stats.packets_sent += 1
         self.stats.bytes_sent += length
         if retransmission:
@@ -256,9 +259,17 @@ class Sender:
         # quantisation, as in packet-counting kernel stacks).  The residual
         # fraction of a window is never borrowed against — TFC's token
         # adjustment compensates the resulting undershoot at the switch.
+        # The window bound is hoisted out of the loop: cwnd/peer_awnd only
+        # change from ACK processing, which is never re-entered from here.
+        limit = min(self.cwnd, self.peer_awnd) + 0.5
+        long_lived = self.long_lived
         while True:
-            length = min(MSS, self.available_bytes)
-            if length <= 0 or self.flight_size + length > self.send_window + 0.5:
+            if long_lived:
+                length = MSS
+            else:
+                available = self.flow_bytes - self.snd_nxt
+                length = MSS if MSS < available else available
+            if length <= 0 or (self.snd_nxt - self.snd_una) + length > limit:
                 break
             self._send_next(length)
 

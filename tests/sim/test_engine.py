@@ -171,3 +171,88 @@ def test_property_run_until_never_executes_beyond_horizon(delays, horizon):
     sim.run(until_ns=horizon)
     assert all(t <= horizon for t in fired)
     assert len(fired) == sum(1 for d in delays if d <= horizon)
+
+
+# ----------------------------------------------------------------------
+# Fast-path machinery: free list, compaction, cancel reference-dropping
+# ----------------------------------------------------------------------
+def test_cancel_drops_callback_and_args_references():
+    """Cancelling must not pin the callback/args until the heap drains."""
+    sim = Simulator()
+    payload = object()
+    event = sim.schedule(10, lambda p: None, payload)
+    event.cancel()
+    assert event.callback is None
+    assert event.args == ()
+
+
+def test_pending_events_is_live_counter():
+    """pending_events tracks schedules, cancels, and executions exactly."""
+    sim = Simulator()
+    events = [sim.schedule(i + 1, lambda: None) for i in range(10)]
+    assert sim.pending_events == 10
+    for event in events[:4]:
+        event.cancel()
+    assert sim.pending_events == 6
+    sim.run(until_ns=5)  # events at t=1..4 were cancelled; only t=5 fires
+    assert sim.events_processed == 1
+    assert sim.pending_events == 5
+
+
+def test_executed_events_are_recycled():
+    """The free list reuses retired Event objects instead of allocating."""
+    sim = Simulator()
+    first = sim.schedule(1, lambda: None)
+    sim.run()
+    second = sim.schedule(1, lambda: None)
+    assert second is first  # recycled, not a fresh allocation
+    sim.run()
+
+
+def test_stale_cancel_of_fired_event_is_harmless():
+    """cancel() on a handle that already fired must not kill later events."""
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1, lambda: fired.append("a"))
+    sim.run()
+    handle.cancel()  # stale: the event already executed
+    sim.schedule(1, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b"]
+    assert sim.pending_events == 0
+
+
+def test_heap_compaction_preserves_order_and_counts():
+    """Mass-cancelling (timer churn) compacts without losing live events."""
+    sim = Simulator()
+    fired = []
+    live = []
+    # Interleave many cancelled "timers" with a few real events.
+    for i in range(2000):
+        event = sim.schedule(10_000 + i, lambda: None)
+        event.cancel()
+    for i in range(5):
+        live.append(sim.schedule(100 + i, fired.append, i))
+    # Compaction triggered: the heap must be mostly dead-free now.
+    assert sim.pending_events == 5
+    sim.run()
+    assert fired == [0, 1, 2, 3, 4]
+    assert sim.pending_events == 0
+
+
+def test_compaction_during_run_keeps_heap_consistent():
+    """A callback that mass-cancels mid-run must not break the loop."""
+    sim = Simulator()
+    fired = []
+    doomed = [sim.schedule(1_000_000 + i, lambda: None) for i in range(600)]
+
+    def cancel_all():
+        for event in doomed:
+            event.cancel()
+        fired.append("cancelled")
+
+    sim.schedule(10, cancel_all)
+    sim.schedule(20, fired.append, "after")
+    sim.run()
+    assert fired == ["cancelled", "after"]
+    assert sim.pending_events == 0

@@ -1,0 +1,125 @@
+"""Golden determinism: the kernel fast path must not change *any* result.
+
+These values were captured at the pre-fast-path seed commit (e2ee257) and
+must stay bit-identical forever: every optimisation to the event kernel,
+ports, queues, or tracer has to preserve event counts, schedule ordering
+and RNG draw sequences exactly.  If a change here is intentional (a new
+feature that genuinely alters the simulation), recapture the constants and
+say so in the commit — never loosen the assertions.
+
+Two scenarios cover the two regimes:
+
+* a 4-flow TFC dumbbell (steady-state congestion control machinery), and
+* one Fig. 13 testbed benchmark cell (stochastic workload generation,
+  handshakes, FCT accounting, timer churn).
+
+Bulky structures (per-port state, FCT records) are pinned via sha256 of
+their canonical-JSON form; scalars are pinned directly so a mismatch
+shows a readable diff for the most informative fields.
+"""
+
+import hashlib
+import json
+
+from repro.experiments.common import build_topology
+from repro.metrics.fct import FctCollector
+from repro.net.topology import dumbbell
+from repro.net.topology import testbed as build_testbed
+from repro.sim.units import seconds
+from repro.transport.registry import open_flow
+from repro.workloads.empirical import BenchmarkWorkload
+
+
+def _digest(obj) -> str:
+    return hashlib.sha256(
+        json.dumps(obj, sort_keys=True).encode("utf-8")
+    ).hexdigest()[:16]
+
+
+def _port_state(network):
+    rows = []
+    for node in network.nodes:
+        for port in node.ports:
+            queue = port.queue
+            rows.append(
+                [
+                    node.name,
+                    port.index,
+                    port.tx_packets,
+                    port.tx_bytes,
+                    queue.byte_length,
+                    queue.packet_length,
+                    queue.drops,
+                    queue.enqueues,
+                    queue.max_bytes_seen,
+                ]
+            )
+    return rows
+
+
+def test_golden_dumbbell_tfc():
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    topo.network.run_for(seconds(0.1))
+    net = topo.network
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.delimiter_elected": 1,
+        "tfc.window_update": 731,
+    }
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert [n.rx_bytes for n in net.nodes] == [
+        12_537_926,
+        126_784,
+        126_720,
+        126_912,
+        126_720,
+        12_023_072,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+
+
+def test_golden_fig13_benchmark_cell():
+    topo = build_topology(build_testbed, "tfc", buffer_bytes=256_000, seed=0)
+    collector = FctCollector()
+    workload = BenchmarkWorkload(
+        topo.hosts,
+        "tfc",
+        duration_ns=seconds(0.25),
+        query_rate_per_s=200.0,
+        query_fanin=6,
+        short_rate_per_s=30.0,
+        background_rate_per_s=30.0,
+        min_rto_ns=200_000_000,
+        seed_name="benchmark:testbed:0",
+        collector=collector,
+    )
+    topo.network.run_for(seconds(0.5))
+    net = topo.network
+
+    assert net.sim.events_processed == 57510
+    assert net.sim.now == 500_000_000
+    assert workload.flows_launched == 373
+    assert collector.completed() == 373
+    assert net.total_drops() == 0
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.ack_delayed": 37,
+        "tfc.delimiter_elected": 338,
+        "tfc.window_update": 1014,
+        "transport.flow_complete": 373,
+    }
+    records = sorted(
+        (r.category, r.size_bytes, r.fct_ns, r.timeouts)
+        for r in collector.records
+    )
+    assert _digest([list(r) for r in records]) == "143d85e14736aa91"
+    assert _digest(_port_state(net)) == "3255488c8e6eca49"
