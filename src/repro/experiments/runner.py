@@ -32,6 +32,7 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..sim.sched import SCHEDULER_NAMES, scheduler_env
 from .common import ALL_PROTOCOLS, ExperimentResult, derive_cell_seed, format_table
 from .fig06_rttb import run_fig06_cell
 from .fig07_ne import run_fig07_cell
@@ -117,6 +118,8 @@ def run_cells(
     specs: Sequence[CellSpec],
     jobs: int = 1,
     root_seed: int = 0,
+    scheduler: Optional[str] = None,
+    profile_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run every cell and return results in the order specs were given.
 
@@ -124,20 +127,60 @@ def run_cells(
     side effects — the path tests use).  ``jobs > 1`` fans out over a
     process pool; a pool that cannot even start degrades to the serial
     path, but a cell that *fails* always surfaces as :class:`RunnerError`.
+
+    ``scheduler`` pins the simulator backend for every cell (exported as
+    ``REPRO_SCHEDULER``, which pool workers inherit).  ``profile_dir``
+    writes one cProfile stats file per cell into the directory; profiled
+    runs are forced onto the serial path — a worker process would profile
+    the pool plumbing, not the simulation.
     """
     resolved = [spec.resolved(root_seed) for spec in specs]
-    if jobs > 1 and len(resolved) > 1:
+    with scheduler_env(scheduler):
+        if profile_dir is not None:
+            return _run_profiled(resolved, profile_dir)
+        if jobs > 1 and len(resolved) > 1:
+            try:
+                return _run_pool(resolved, jobs)
+            except RunnerError:
+                raise
+            except (OSError, ImportError, PermissionError) as exc:
+                print(
+                    f"runner: process pool unavailable ({exc!r}); "
+                    "falling back to serial execution",
+                    file=sys.stderr,
+                )
+        return [_execute_cell(spec) for spec in resolved]
+
+
+def _run_profiled(
+    specs: List[CellSpec], profile_dir: str
+) -> List[ExperimentResult]:
+    """Serial execution with one cProfile stats dump per cell."""
+    import cProfile
+
+    os.makedirs(profile_dir, exist_ok=True)
+    results: List[ExperimentResult] = []
+    for index, spec in enumerate(specs):
+        profiler = cProfile.Profile()
+        profiler.enable()
         try:
-            return _run_pool(resolved, jobs)
-        except RunnerError:
-            raise
-        except (OSError, ImportError, PermissionError) as exc:
-            print(
-                f"runner: process pool unavailable ({exc!r}); "
-                "falling back to serial execution",
-                file=sys.stderr,
-            )
-    return [_execute_cell(spec) for spec in resolved]
+            results.append(_execute_cell(spec))
+        finally:
+            profiler.disable()
+        path = os.path.join(
+            profile_dir, f"cell_{index:03d}_{_safe_label(spec)}.prof"
+        )
+        profiler.dump_stats(path)
+        print(f"profile written to {path}", file=sys.stderr)
+    return results
+
+
+def _safe_label(spec: CellSpec) -> str:
+    """Filesystem-safe compact cell label for profile filenames."""
+    raw = spec.figure + "_" + "_".join(
+        f"{k}-{spec.kwargs[k]}" for k in sorted(spec.kwargs)
+    )
+    return "".join(c if c.isalnum() or c in "._-" else "-" for c in raw)[:80]
 
 
 def _run_pool(specs: List[CellSpec], jobs: int) -> List[ExperimentResult]:
@@ -283,16 +326,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="dump the ExperimentResult list to PATH (pickle format)",
     )
+    parser.add_argument(
+        "--scheduler",
+        default=None,
+        choices=SCHEDULER_NAMES,
+        help="pin the event-scheduler backend for every cell "
+        "(default: adaptive, or $REPRO_SCHEDULER if set)",
+    )
+    parser.add_argument(
+        "--profile",
+        metavar="DIR",
+        default=None,
+        help="write per-cell cProfile stats into DIR (forces serial "
+        "execution; pstats-compatible files, one per cell)",
+    )
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     specs = default_plan(args.figures, quick=args.quick)
+    if args.profile and jobs > 1:
+        print(
+            "runner: --profile forces serial execution (jobs=1)",
+            file=sys.stderr,
+        )
+        jobs = 1
     print(
         f"running {len(specs)} cells across {', '.join(args.figures)} "
         f"with jobs={jobs}"
+        + (f" scheduler={args.scheduler}" if args.scheduler else "")
     )
     start = time.perf_counter()
-    results = run_cells(specs, jobs=jobs, root_seed=args.seed)
+    results = run_cells(
+        specs,
+        jobs=jobs,
+        root_seed=args.seed,
+        scheduler=args.scheduler,
+        profile_dir=args.profile,
+    )
     elapsed = time.perf_counter() - start
 
     rows = []

@@ -32,6 +32,18 @@ class Link:
     the nominal rate protocols were configured against.
     """
 
+    __slots__ = (
+        "_sim",
+        "rate_bps",
+        "delay_ns",
+        "dst_node",
+        "dst_port_index",
+        "up",
+        "_rate_factor",
+        "effective_rate_bps",
+        "faulted_frames",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -102,6 +114,20 @@ class Port:
     ``agent`` is an optional protocol hook (the TFC switch agent attaches
     here); the port itself never inspects it — nodes do.
     """
+
+    __slots__ = (
+        "_sim",
+        "node",
+        "index",
+        "link",
+        "queue",
+        "tracer",
+        "agent",
+        "_busy",
+        "paused",
+        "tx_packets",
+        "tx_bytes",
+    )
 
     def __init__(
         self,

@@ -33,6 +33,8 @@ from .packet import Packet
 class LossModel:
     """Decides, packet by packet, whether a fault eats an arrival."""
 
+    __slots__ = ()
+
     def should_drop(self, packet: Packet) -> bool:
         """Whether this arrival is lost to the modelled fault."""
         raise NotImplementedError
@@ -40,6 +42,8 @@ class LossModel:
 
 class BernoulliLoss(LossModel):
     """Independent per-packet loss with a fixed probability."""
+
+    __slots__ = ("probability", "_rng")
 
     def __init__(self, probability: float, rng: random.Random):
         if not 0.0 <= probability < 1.0:
@@ -62,6 +66,15 @@ class GilbertElliottLoss(LossModel):
     the loss rate of the resulting state.  Mean burst length is
     ``1/p_exit_bad`` packets; mean gap between bursts ``1/p_enter_bad``.
     """
+
+    __slots__ = (
+        "_rng",
+        "p_enter_bad",
+        "p_exit_bad",
+        "loss_good",
+        "loss_bad",
+        "bad",
+    )
 
     def __init__(
         self,
@@ -108,6 +121,8 @@ class FilteredLoss(LossModel):
     Non-matching packets do not advance the inner model's state.
     """
 
+    __slots__ = ("inner", "match")
+
     def __init__(self, inner: LossModel, match: Callable[[Packet], bool]):
         self.inner = inner
         self.match = match
@@ -130,6 +145,18 @@ class DropTailQueue:
     at scheduled times; it is None — one attribute test per enqueue — in
     normal runs.
     """
+
+    __slots__ = (
+        "capacity_bytes",
+        "_queue",
+        "_bytes",
+        "drops",
+        "dropped_bytes",
+        "enqueues",
+        "max_bytes_seen",
+        "loss_model",
+        "faulted_drops",
+    )
 
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
@@ -210,6 +237,8 @@ class FaultyQueue(DropTailQueue):
     the ``loss_model`` attribute every queue exposes.
     """
 
+    __slots__ = ()
+
     def __init__(
         self, capacity_bytes: int, loss_model: Optional[LossModel] = None
     ):
@@ -226,6 +255,8 @@ class RandomDropQueue(FaultyQueue):
     deterministic stream is derived) — never ambient module-level
     randomness.
     """
+
+    __slots__ = ("drop_probability",)
 
     def __init__(
         self,
@@ -254,6 +285,8 @@ class EcnQueue(DropTailQueue):
     (including the packet itself) exceeds ``mark_threshold_bytes``, matching
     the instantaneous-queue marking DCTCP configures on switches.
     """
+
+    __slots__ = ("mark_threshold_bytes", "marks")
 
     def __init__(self, capacity_bytes: int, mark_threshold_bytes: int):
         super().__init__(capacity_bytes)

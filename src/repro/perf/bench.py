@@ -8,7 +8,9 @@ The JSON schema (version 1)::
       "git_sha": "<commit the numbers were measured at>",
       "machine": {"python": ..., "platform": ..., "cpu_count": ...},
       "repeats": 3,
-      "results": [{"name": ..., "events_per_sec" | "wall_s": ...}, ...],
+      "results": [{"name": "<workload>@<scheduler>",
+                   "workload": ..., "scheduler": ...,
+                   "events_per_sec" | "wall_s": ...}, ...],
       "baseline": {           # optional: what compare.py diffs against
         "label": "...",
         "results": {"<name>": <events_per_sec | wall_s>, ...}
@@ -45,6 +47,12 @@ from .workloads import (
 
 SCHEMA_VERSION = 1
 
+#: The backend dimension measured by default: the adaptive policy (what
+#: users get) plus every pinned backend.  Rows are named
+#: ``<workload>@<scheduler>`` so each (workload, backend) pair carries
+#: its own baseline through the regression gate.
+DEFAULT_SCHEDULERS = ("adaptive", "heap", "calendar", "wheel")
+
 
 def machine_info() -> Dict[str, object]:
     """Enough machine context to judge whether two snapshots are comparable."""
@@ -74,33 +82,52 @@ def git_sha() -> str:
 
 
 def run_kernel_suite(
-    repeats: int = 3, duration_scale: float = 1.0
+    repeats: int = 3,
+    duration_scale: float = 1.0,
+    schedulers: Optional[Sequence[str]] = DEFAULT_SCHEDULERS,
 ) -> List[Dict[str, float]]:
-    """Best-of-``repeats`` events/sec for every pinned kernel workload."""
-    results = []
-    for workload in KERNEL_WORKLOADS:
-        best: Optional[Dict[str, float]] = None
-        for _ in range(max(repeats, 1)):
-            run = run_kernel_workload(workload, duration_scale)
-            if best is None or run["events_per_sec"] > best["events_per_sec"]:
-                best = run
-        results.append(best)
-    return results
+    """Best-of-``repeats`` events/sec for every pinned kernel workload.
+
+    One row per (workload, scheduler).  ``schedulers=None`` runs the
+    session default backend only, with bare row names (the pre-backend
+    snapshot format).  Repeats interleave across backends so machine
+    noise spreads evenly instead of biasing whichever backend ran last.
+    """
+    cells = [
+        (workload, sched)
+        for workload in KERNEL_WORKLOADS
+        for sched in (schedulers or (None,))
+    ]
+    best: Dict[int, Dict[str, float]] = {}
+    for _ in range(max(repeats, 1)):
+        for idx, (workload, sched) in enumerate(cells):
+            run = run_kernel_workload(workload, duration_scale, sched)
+            if (
+                idx not in best
+                or run["events_per_sec"] > best[idx]["events_per_sec"]
+            ):
+                best[idx] = run
+    return [best[idx] for idx in range(len(cells))]
 
 
 def run_experiment_suite(
-    repeats: int = 1, duration_scale: float = 1.0
+    repeats: int = 1,
+    duration_scale: float = 1.0,
+    schedulers: Optional[Sequence[str]] = DEFAULT_SCHEDULERS,
 ) -> List[Dict[str, float]]:
     """Best-of-``repeats`` wall-clock for every pinned experiment cell."""
-    results = []
-    for workload in EXPERIMENT_WORKLOADS:
-        best: Optional[Dict[str, float]] = None
-        for _ in range(max(repeats, 1)):
-            run = run_experiment_workload(workload, duration_scale)
-            if best is None or run["wall_s"] < best["wall_s"]:
-                best = run
-        results.append(best)
-    return results
+    cells = [
+        (workload, sched)
+        for workload in EXPERIMENT_WORKLOADS
+        for sched in (schedulers or (None,))
+    ]
+    best: Dict[int, Dict[str, float]] = {}
+    for _ in range(max(repeats, 1)):
+        for idx, (workload, sched) in enumerate(cells):
+            run = run_experiment_workload(workload, duration_scale, sched)
+            if idx not in best or run["wall_s"] < best[idx]["wall_s"]:
+                best[idx] = run
+    return [best[idx] for idx in range(len(cells))]
 
 
 def build_payload(
@@ -150,13 +177,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="carry the 'baseline' block over from an existing snapshot",
     )
+    parser.add_argument(
+        "--schedulers",
+        default=",".join(DEFAULT_SCHEDULERS),
+        help=(
+            "comma-separated backend list to measure "
+            f"(default: {','.join(DEFAULT_SCHEDULERS)})"
+        ),
+    )
     args = parser.parse_args(argv)
+    schedulers = [s for s in args.schedulers.split(",") if s.strip()]
 
     if args.kind == "kernel":
-        results = run_kernel_suite(args.repeats, args.duration_scale)
+        results = run_kernel_suite(
+            args.repeats, args.duration_scale, schedulers
+        )
         metric = "events_per_sec"
     else:
-        results = run_experiment_suite(args.repeats, args.duration_scale)
+        results = run_experiment_suite(
+            args.repeats, args.duration_scale, schedulers
+        )
         metric = "wall_s"
 
     baseline = None
@@ -166,7 +206,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     payload = build_payload(args.kind, results, args.repeats, baseline)
     for row in results:
-        print(f"{row['name']:24s} {metric} = {row[metric]:,.1f}")
+        print(f"{row['name']:32s} {metric} = {row[metric]:,.1f}")
     if args.out:
         write_bench(args.out, payload)
         print(f"snapshot written to {args.out}")

@@ -19,17 +19,40 @@ import json
 import sys
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .bench import run_experiment_suite, run_kernel_suite
+from .bench import DEFAULT_SCHEDULERS, run_experiment_suite, run_kernel_suite
 
 DEFAULT_THRESHOLD = 0.15
 
 
+def _canonical(name: str) -> str:
+    """Row key: bare pre-backend names alias to the adaptive default."""
+    return name if "@" in name else f"{name}@adaptive"
+
+
+def snapshot_schedulers(results: List[Dict[str, float]]) -> List[str]:
+    """Backends the snapshot covers, so the fresh run measures the same.
+
+    Row order is preserved (first appearance wins); bare legacy rows
+    count as ``adaptive``.
+    """
+    seen: List[str] = []
+    for row in results:
+        sched = row.get("scheduler") or _canonical(row["name"]).split("@")[1]
+        if sched not in seen:
+            seen.append(sched)
+    return seen
+
+
 def _throughputs(kind: str, results: List[Dict[str, float]]) -> Dict[str, float]:
-    """name -> higher-is-better throughput for either snapshot kind."""
+    """canonical name -> higher-is-better throughput for either kind."""
     if kind == "kernel":
-        return {r["name"]: float(r["events_per_sec"]) for r in results}
+        return {
+            _canonical(r["name"]): float(r["events_per_sec"]) for r in results
+        }
     return {
-        r["name"]: (1.0 / float(r["wall_s"]) if r["wall_s"] > 0 else 0.0)
+        _canonical(r["name"]): (
+            1.0 / float(r["wall_s"]) if r["wall_s"] > 0 else 0.0
+        )
         for r in results
     }
 
@@ -43,7 +66,10 @@ def compare_results(
     """Return (report_lines, regressions) for fresh vs committed runs.
 
     A workload present in only one side is reported but never fails the
-    gate (renames need a baseline regeneration, not a red build).
+    gate (renames and newly added workloads need a baseline
+    regeneration, not a red build).  A committed row with zero/negative
+    throughput is likewise warn-and-skip: there is no meaningful ratio
+    to gate on.
     """
     old = _throughputs(kind, committed)
     new = _throughputs(kind, fresh)
@@ -53,7 +79,12 @@ def compare_results(
         if name not in new:
             report.append(f"{name}: missing from fresh run (skipped)")
             continue
-        ratio = new[name] / old[name] if old[name] > 0 else float("inf")
+        if old[name] <= 0:
+            report.append(
+                f"{name}: committed throughput is zero (skipped)"
+            )
+            continue
+        ratio = new[name] / old[name]
         line = f"{name}: {ratio:6.2%} of committed throughput"
         if ratio < 1.0 - threshold:
             regressions.append(
@@ -87,11 +118,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         snapshot = json.load(fh)
     kind = snapshot.get("kind", "kernel")
     committed = snapshot["results"]
+    schedulers = snapshot_schedulers(committed) or list(DEFAULT_SCHEDULERS)
 
     if kind == "kernel":
-        fresh = run_kernel_suite(repeats=args.repeats)
+        fresh = run_kernel_suite(repeats=args.repeats, schedulers=schedulers)
     else:
-        fresh = run_experiment_suite(repeats=args.repeats)
+        fresh = run_experiment_suite(
+            repeats=args.repeats, schedulers=schedulers
+        )
 
     report, regressions = compare_results(
         kind, committed, fresh, args.threshold

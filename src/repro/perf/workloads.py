@@ -5,25 +5,37 @@ the committed ``BENCH_*.json`` baselines were produced by *exactly* these
 configurations, so do not change a workload in place — add a new one with
 a new name, keep the old, and regenerate the baseline.
 
-Two tiers:
+Three tiers:
 
 * **Kernel workloads** — dumbbell saturation runs dominated by the event
   loop, queue, and port machinery.  The metric is simulator events per
   wall-clock second; it moves with kernel fast-path changes and very
   little else.
+* **Timer-churn workloads** — scheduler stress: thousands of flows each
+  keeping several armed timers (RTO / delayed-ACK / probe style) that
+  are cancelled and re-armed on every ack arrival, shortly before they
+  would fire.  Almost every stored entry dies and *surfaces* at the
+  queue head, which is the regime the calendar/wheel backends exist for.
+  Same metric as kernel workloads (executed events per wall second).
 * **Experiment workloads** — one Fig. 13 benchmark cell per protocol at
   reduced duration.  The metric is wall-clock per cell; it tracks what a
   user actually waits for when regenerating figures.
+
+Every run function takes an optional ``scheduler`` (a
+``Simulator(scheduler=...)`` name); the bench suite runs each workload
+once per backend and names the rows ``<workload>@<scheduler>``.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple, Union
 
 from ..experiments.common import build_topology
 from ..net.topology import dumbbell
+from ..sim.engine import Simulator
+from ..sim.sched import scheduler_env
 from ..sim.units import seconds
 from ..transport.registry import open_flow
 
@@ -40,6 +52,32 @@ class KernelWorkload:
 
 
 @dataclass(frozen=True)
+class TimerChurnWorkload:
+    """n flows x k armed timers, all cancelled and re-armed per ack.
+
+    Each flow holds ``len(timer_delays_ns)`` pending timers.  An "ack"
+    arrives every ``ack_gap_ns`` (plus a small deterministic jitter),
+    cancels every pending timer — each of them 10-110 us short of
+    firing, so the dead entries surface at the queue head instead of
+    being swept by compaction — and re-arms them all.  Timer delays are
+    datacenter-scale (sub-262 us, DCTCP-style RTOmin territory).  No RNG
+    anywhere: the event trace is bit-identical on every backend.
+    """
+
+    name: str
+    n_flows: int
+    duration_s: float
+    timer_delays_ns: Tuple[int, ...] = (
+        150_000,
+        175_000,
+        200_000,
+        225_000,
+        250_000,
+    )
+    ack_gap_ns: int = 140_000
+
+
+@dataclass(frozen=True)
 class ExperimentWorkload:
     """One Fig. 13 testbed benchmark cell (workload generator + FCT)."""
 
@@ -50,10 +88,14 @@ class ExperimentWorkload:
     seed: int
 
 
-KERNEL_WORKLOADS: Tuple[KernelWorkload, ...] = (
+AnyKernelWorkload = Union[KernelWorkload, TimerChurnWorkload]
+
+KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     KernelWorkload("dumbbell_tfc_4", "tfc", 4, 1, 0.4),
     KernelWorkload("dumbbell_dctcp_8", "dctcp", 8, 2, 0.2),
     KernelWorkload("dumbbell_tcp_8", "tcp", 8, 3, 0.2),
+    TimerChurnWorkload("timer_churn_16k", 16384, 0.0012),
+    TimerChurnWorkload("timer_churn_32k", 32768, 0.0006),
 )
 
 EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
@@ -63,30 +105,41 @@ EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
 )
 
 
+def _row_name(workload_name: str, scheduler: Optional[str]) -> str:
+    return f"{workload_name}@{scheduler}" if scheduler else workload_name
+
+
 def run_kernel_workload(
-    workload: KernelWorkload, duration_scale: float = 1.0
+    workload: AnyKernelWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one kernel workload; returns events, wall_s, events_per_sec.
 
     ``duration_scale`` shrinks the simulated window for smoke runs (CI);
     scaled runs are *not* comparable against the committed baselines.
     """
-    topo = build_topology(
-        dumbbell,
-        workload.protocol,
-        buffer_bytes=256_000,
-        n_senders=workload.n_senders,
-        seed=workload.seed,
-    )
-    receiver = topo.host(workload.n_senders)
-    for i in range(workload.n_senders):
-        open_flow(topo.host(i), receiver, workload.protocol)
-    start = time.perf_counter()
-    topo.network.run_for(seconds(workload.duration_s * duration_scale))
-    wall = time.perf_counter() - start
+    if isinstance(workload, TimerChurnWorkload):
+        return run_churn_workload(workload, duration_scale, scheduler)
+    with scheduler_env(scheduler):
+        topo = build_topology(
+            dumbbell,
+            workload.protocol,
+            buffer_bytes=256_000,
+            n_senders=workload.n_senders,
+            seed=workload.seed,
+        )
+        receiver = topo.host(workload.n_senders)
+        for i in range(workload.n_senders):
+            open_flow(topo.host(i), receiver, workload.protocol)
+        start = time.perf_counter()
+        topo.network.run_for(seconds(workload.duration_s * duration_scale))
+        wall = time.perf_counter() - start
     events = topo.sim.events_processed
     return {
-        "name": workload.name,
+        "name": _row_name(workload.name, scheduler),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
         "events": events,
         "wall_s": wall,
@@ -94,23 +147,78 @@ def run_kernel_workload(
     }
 
 
+def run_churn_workload(
+    workload: TimerChurnWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
+) -> Dict[str, float]:
+    """Run one timer-churn workload on the given backend."""
+    sim = Simulator(scheduler=scheduler) if scheduler else Simulator()
+    timers = workload.timer_delays_ns
+    # Per-slot base delay precomputed (the j*977 de-aliasing stagger is
+    # static); the ack handler only adds the per-step jitter.
+    base = tuple(t + j * 977 for j, t in enumerate(timers))
+    indexes = range(len(timers))
+    pending = [[None] * len(timers) for _ in range(workload.n_flows)]
+    schedule = sim.schedule
+    ack_gap = workload.ack_gap_ns
+
+    def timer_fire(i: int, j: int) -> None:
+        # Clearing the slot inside the callback keeps the kernel's
+        # handle contract: a fired handle is never cancelled later.
+        pending[i][j] = None
+
+    def ack(i: int, step: int) -> None:
+        slots = pending[i]
+        jitter = (i * 2654435761 + step * 40503) & 2047
+        for j in indexes:
+            handle = slots[j]
+            if handle is not None:
+                handle.cancel()
+            slots[j] = schedule(base[j] + jitter, timer_fire, i, j)
+        schedule(ack_gap + jitter, ack, i, step + 1)
+
+    for i in range(workload.n_flows):
+        schedule((i * 7919) % ack_gap, ack, i, 0)
+
+    duration_ns = seconds(workload.duration_s * duration_scale)
+    start = time.perf_counter()
+    sim.run(until_ns=duration_ns)
+    wall = time.perf_counter() - start
+    events = sim.events_processed
+    return {
+        "name": _row_name(workload.name, scheduler),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
+        "protocol": "timers",
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
 def run_experiment_workload(
-    workload: ExperimentWorkload, duration_scale: float = 1.0
+    workload: ExperimentWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one Fig. 13 cell; returns wall-clock seconds for the cell."""
     from ..experiments.fig13_benchmark import run_benchmark
 
-    start = time.perf_counter()
-    result = run_benchmark(
-        workload.protocol,
-        scale="testbed",
-        duration_s=workload.duration_s * duration_scale,
-        drain_s=workload.drain_s * duration_scale,
-        seed=workload.seed,
-    )
-    wall = time.perf_counter() - start
+    with scheduler_env(scheduler):
+        start = time.perf_counter()
+        result = run_benchmark(
+            workload.protocol,
+            scale="testbed",
+            duration_s=workload.duration_s * duration_scale,
+            drain_s=workload.drain_s * duration_scale,
+            seed=workload.seed,
+        )
+        wall = time.perf_counter() - start
     return {
-        "name": workload.name,
+        "name": _row_name(workload.name, scheduler),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
         "wall_s": wall,
         "flows_launched": result.flows_launched,

@@ -1,18 +1,25 @@
 """Discrete-event simulation kernel: clock, events, timers, RNG, tracing."""
 
-from .engine import Event, SimulationError, Simulator
+from .engine import ADAPTIVE_SWITCH_THRESHOLD, Event, SimulationError, Simulator
 from .rng import SeedSequence
+from .sched import SCHEDULER_BACKENDS, SCHEDULER_NAMES, Scheduler, make_scheduler
 from .timers import Timer
 from .trace import Tracer
-from . import trace, units
+from . import sched, trace, units
 
 __all__ = [
+    "ADAPTIVE_SWITCH_THRESHOLD",
     "Event",
     "SimulationError",
     "Simulator",
     "SeedSequence",
+    "Scheduler",
+    "SCHEDULER_BACKENDS",
+    "SCHEDULER_NAMES",
+    "make_scheduler",
     "Timer",
     "Tracer",
+    "sched",
     "trace",
     "units",
 ]

@@ -1,0 +1,258 @@
+"""Calendar-queue backend (Brown 1988) with adaptive bucket widths.
+
+Events hash into ``nbuckets`` buckets by ``time >> width_shift`` (bucket
+widths are powers of two, so the hot paths are shifts and masks, never
+division); each bucket is a list kept sorted on the *negated* key
+``(-time, -seq)`` so the earliest entry sits at the tail and pops are
+``list.pop()`` — O(1), no memmove.  Inserts are ``bisect.insort`` (C)
+into a bucket that holds, on average, O(1) entries, so schedule/pop are
+amortised O(1) instead of the heap's O(log n).
+
+The queue resizes itself: when the live population outgrows the bucket
+array it doubles (and re-derives the bucket width from the inter-event
+gaps near the head), and when it shrinks far below it halves.  Both
+triggers depend only on deterministic entry counts, so resizing never
+perturbs pop order — the golden-determinism and differential-fuzz tests
+run bit-identical to the heap backend.
+
+Events more than one "year" (``nbuckets << width_shift``) ahead alias
+into the same buckets; the pop path skips entries belonging to later
+years and falls back to a direct min-scan when a whole year turns up
+empty (the classic calendar-queue long-jump).
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator, List, Optional, Tuple
+
+from .base import Entry, Scheduler
+
+_MIN_BUCKETS = 8
+_MAX_BUCKETS = 1 << 16
+_NO_HORIZON = 1 << 62
+
+# Negated storage key: ascending list order == descending (time, seq),
+# so the earliest event is bucket[-1].
+Key = Tuple[int, int, object]
+
+
+class CalendarScheduler(Scheduler):
+    """Amortised O(1) calendar queue tuned by live-population feedback."""
+
+    name = "calendar"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._nbuckets = _MIN_BUCKETS
+        self._mask = _MIN_BUCKETS - 1
+        self._wshift = 10  # bucket width 2**_wshift ns; re-derived on resize
+        self._grow_at = _MIN_BUCKETS << 1
+        self._buckets: List[List[Key]] = [[] for _ in range(_MIN_BUCKETS)]
+        # Scan floor: time of the last popped event.  All stored entries
+        # have time >= _floor (the kernel never schedules in the past),
+        # so the pop scan always starts at _floor's bucket.  A horizon
+        # probe that finds nothing due does NOT advance the floor, which
+        # is what keeps later inserts into the probed region correct.
+        self._floor = 0
+        # Hot-pop cache: the floor's bucket and its year top.  While the
+        # bucket's tail entry is live with time < _hot_top it is the
+        # global minimum (the year scan would find it first), so the
+        # engine's inlined run loop pops it without the scan preamble.
+        # Invalidated (_hot_top = 0) whenever the bucket array or the
+        # floor changes underneath it.
+        self._hot_bucket: List[Key] = []
+        self._hot_top = 0
+
+    # ------------------------------------------------------------------
+    def push(self, time_ns: int, seq: int, event) -> None:
+        insort(
+            self._buckets[(time_ns >> self._wshift) & self._mask],
+            (-time_ns, -seq, event),
+        )
+        size = self._size + 1
+        self._size = size
+        if size - self._dead > self._grow_at and self._nbuckets < _MAX_BUCKETS:
+            self._rebuild(self._nbuckets << 1)
+
+    def pop_due(self, horizon_ns: int):
+        free = self._free
+        while self._size:
+            if (
+                self._nbuckets > _MIN_BUCKETS
+                and (self._size - self._dead) << 2 < self._nbuckets
+            ):
+                self._rebuild(self._nbuckets >> 1)
+            wshift = self._wshift
+            width = 1 << wshift
+            mask = self._mask
+            buckets = self._buckets
+            epoch = self._floor >> wshift
+            i = epoch & mask
+            top = (epoch + 1) << wshift
+            for _ in range(self._nbuckets):
+                bucket = buckets[i]
+                while bucket:
+                    key = bucket[-1]
+                    time_ns = -key[0]
+                    if time_ns >= top:
+                        break  # belongs to a later year of this bucket
+                    event = key[2]
+                    if event.cancelled:
+                        bucket.pop()
+                        self._size -= 1
+                        self._dead -= 1
+                        free.append(event)
+                        continue
+                    # First live entry inside the year scan is the global
+                    # minimum: earlier buckets held nothing below their
+                    # windows, later buckets hold later times.
+                    if time_ns > horizon_ns:
+                        return None
+                    bucket.pop()
+                    self._size -= 1
+                    self._floor = time_ns
+                    self._hot_bucket = bucket
+                    self._hot_top = top
+                    return event
+                i = (i + 1) & mask
+                top += width
+            # A whole year with no due entry: everything left is far in
+            # the future.  Jump the floor to the global minimum and retry
+            # (one more year scan, which then hits immediately).
+            t_min = self._min_stored_time()
+            if t_min is None:
+                return None
+            if t_min > horizon_ns:
+                return None
+            self._floor = t_min
+        return None
+
+    def next_live_time(self) -> Optional[int]:
+        # Pop (which strips dead entries), then put the winner straight
+        # back: (time, seq) keys make the re-insert land in exactly the
+        # same order.  The floor must be restored afterwards: this is a
+        # probe, not an execution — the engine's clock stays behind the
+        # popped time, so later schedules may land below it, and the pop
+        # scan must keep covering that region.
+        saved_floor = self._floor
+        event = self.pop_due(_NO_HORIZON)
+        if event is None:
+            return None
+        insort(
+            self._buckets[(event.time >> self._wshift) & self._mask],
+            (-event.time, -event.seq, event),
+        )
+        self._size += 1
+        self._floor = saved_floor
+        self._hot_top = 0  # floor moved back; the hot cache is stale
+        return event.time
+
+    # ------------------------------------------------------------------
+    def _min_stored_time(self) -> Optional[int]:
+        """Global minimum live time across all buckets (frees tail dead)."""
+        free = self._free
+        best = None
+        for bucket in self._buckets:
+            while bucket:
+                key = bucket[-1]
+                if key[2].cancelled:
+                    bucket.pop()
+                    self._size -= 1
+                    self._dead -= 1
+                    free.append(key[2])
+                    continue
+                break
+            if bucket:
+                time_ns = -bucket[-1][0]
+                if best is None or time_ns < best:
+                    best = time_ns
+        return best
+
+    def _rebuild(self, nbuckets: int) -> None:
+        """Redistribute into ``nbuckets`` buckets with a re-derived width."""
+        nbuckets = max(_MIN_BUCKETS, min(nbuckets, _MAX_BUCKETS))
+        free = self._free
+        keys: List[Key] = []
+        for bucket in self._buckets:
+            for key in bucket:
+                if key[2].cancelled:
+                    free.append(key[2])
+                else:
+                    keys.append(key)
+        keys.sort()  # ascending key == descending (time, seq)
+        self._wshift = self._choose_shift(keys)
+        self._nbuckets = nbuckets
+        self._mask = nbuckets - 1
+        self._grow_at = nbuckets << 1
+        buckets: List[List[Key]] = [[] for _ in range(nbuckets)]
+        wshift = self._wshift
+        mask = self._mask
+        for key in keys:  # ascending keys -> each bucket stays sorted
+            buckets[(-key[0] >> wshift) & mask].append(key)
+        self._buckets = buckets
+        self._size = len(keys)
+        self._dead = 0
+        self._hot_bucket = []
+        self._hot_top = 0
+
+    def _choose_shift(self, keys_desc: List[Key]) -> int:
+        """Width shift so 2**shift ~= 3x the mean head inter-event gap.
+
+        ``keys_desc`` is sorted descending in time (ascending key order);
+        the head of the queue is the *tail* of the list.  Deterministic:
+        depends only on the stored population.
+        """
+        sample = keys_desc[-64:]
+        if len(sample) < 2:
+            return self._wshift
+        span = (-sample[0][0]) - (-sample[-1][0])  # latest - earliest
+        if span <= 0:
+            return 0
+        ideal = (3 * span) // (len(sample) - 1)
+        if ideal <= 1:
+            return 0
+        return ideal.bit_length() - 1
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        free = self._free
+        total = 0
+        for bucket in self._buckets:
+            live = [key for key in bucket if not key[2].cancelled]
+            if len(live) != len(bucket):
+                for key in bucket:
+                    if key[2].cancelled:
+                        free.append(key[2])
+                bucket[:] = live  # in place: keeps aliases valid
+            total += len(live)
+        self._size = total
+        self._dead = 0
+
+    def drain_live(self) -> Iterator[Entry]:
+        buckets = self._buckets
+        self._buckets = [[] for _ in range(self._nbuckets)]
+        self._size = 0
+        self._dead = 0
+        self._hot_bucket = []
+        self._hot_top = 0
+        free = self._free
+        for bucket in buckets:
+            for key in bucket:
+                if key[2].cancelled:
+                    free.append(key[2])
+                else:
+                    yield (-key[0], -key[1], key[2])
+
+    def prefill(self, entries) -> None:
+        """Bulk-load ``(time, seq, event)`` entries (adaptive migration)."""
+        keys = [(-t, -s, event) for (t, s, event) in entries]
+        # Seed bucket count at ~2x the population so the first rebuild
+        # threshold is not hit immediately after migration.
+        target = _MIN_BUCKETS
+        while target < len(keys) * 2 and target < _MAX_BUCKETS:
+            target <<= 1
+        self._buckets = [keys]  # one fat bucket; _rebuild redistributes
+        self._size = len(keys)
+        self._dead = 0
+        self._rebuild(target)

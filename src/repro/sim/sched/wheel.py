@@ -1,0 +1,340 @@
+"""Hierarchical timer-wheel backend tuned for timer/ACK churn.
+
+Five levels of 256 slots; a level-0 slot covers 1024 ns (2**10), and each
+higher level's slot spans the whole ring below it, so level L slots are
+``2**(10 + 8L)`` ns wide and the wheel reaches ~13 days (2**50 ns) before
+overflowing into a side list.  Scheduling is O(1): pick the level whose
+span covers the delay, append to the slot indexed by the event's absolute
+time bits — no ordering work at all.  That is exactly the right trade for
+retransmission/delayed-ACK timers, which are overwhelmingly cancelled
+before they fire: a cancelled timer costs one append and one lazy sweep,
+never a heap sift.
+
+Pops come from a sorted *due buffer*: when it empties, the wheel advances
+``_wtime`` (the start of the next undrained level-0 slot) to the next
+occupied slot — skipping empty regions by jumping to slot and ring
+boundaries rather than ticking — cascades higher-level slots down as it
+reaches them, and sorts one level-0 slot at a time into the buffer.
+Entries are stored negated (``(-time, -seq, event)``) so the buffer pops
+from the tail and new events landing *behind* ``_wtime`` (always possible
+only for times still >= the clock) are merged by ``bisect.insort``,
+preserving exact global ``(time, seq)`` order — the property the
+cross-backend differential fuzz pins against the heap.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+from typing import Iterator, List, Optional, Tuple
+
+from .base import Entry, Scheduler
+
+_SLOT_SHIFT = 10      # level-0 slot width: 1024 ns
+_RING_BITS = 8        # 256 slots per level
+_RING_MASK = 255
+_LEVELS = 5
+_SHIFTS = tuple(_SLOT_SHIFT + _RING_BITS * level for level in range(_LEVELS))
+_SPANS = tuple(1 << (shift + _RING_BITS) for shift in _SHIFTS)
+
+Key = Tuple[int, int, object]  # (-time, -seq, event)
+
+
+class TimerWheelScheduler(Scheduler):
+    """O(1) hashed hierarchical timer wheel with ns-exact ordering."""
+
+    name = "wheel"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._rings: Tuple[List[List[Key]], ...] = tuple(
+            [[] for _ in range(1 << _RING_BITS)] for _ in range(_LEVELS)
+        )
+        self._counts: List[int] = [0] * _LEVELS
+        self._overflow: List[Key] = []
+        self._due: List[Key] = []  # ascending keys; earliest event at tail
+        self._wtime = 0  # start of the next undrained level-0 slot
+
+    # ------------------------------------------------------------------
+    def push(self, time_ns: int, seq: int, event) -> None:
+        self._size += 1
+        key = (-time_ns, -seq, event)
+        wtime = self._wtime
+        if time_ns < wtime:
+            # The wheel already swept past this instant (still >= the
+            # clock): merge into the sorted due buffer.
+            insort(self._due, key)
+            return
+        delta = time_ns - wtime
+        counts = self._counts
+        if delta < 262144:  # 2**18
+            self._rings[0][(time_ns >> 10) & 255].append(key)
+            counts[0] += 1
+        elif delta < 67108864:  # 2**26
+            self._rings[1][(time_ns >> 18) & 255].append(key)
+            counts[1] += 1
+        elif delta < 17179869184:  # 2**34
+            self._rings[2][(time_ns >> 26) & 255].append(key)
+            counts[2] += 1
+        elif delta < 4398046511104:  # 2**42
+            self._rings[3][(time_ns >> 34) & 255].append(key)
+            counts[3] += 1
+        elif delta < 1125899906842624:  # 2**50
+            self._rings[4][(time_ns >> 42) & 255].append(key)
+            counts[4] += 1
+        else:
+            self._overflow.append(key)
+
+    def _insert_key(self, key: Key) -> None:
+        """Re-place a stored key (cascade/overflow); size already counted."""
+        time_ns = -key[0]
+        wtime = self._wtime
+        if time_ns < wtime:
+            insort(self._due, key)
+            return
+        delta = time_ns - wtime
+        for level in range(_LEVELS):
+            if delta < _SPANS[level]:
+                self._rings[level][(time_ns >> _SHIFTS[level]) & 255].append(
+                    key
+                )
+                self._counts[level] += 1
+                return
+        self._overflow.append(key)
+
+    # ------------------------------------------------------------------
+    def pop_due(self, horizon_ns: int):
+        free = self._free
+        while True:
+            due = self._due
+            while due:
+                key = due[-1]
+                event = key[2]
+                if event.cancelled:
+                    due.pop()
+                    self._size -= 1
+                    self._dead -= 1
+                    free.append(event)
+                    continue
+                if -key[0] > horizon_ns:
+                    return None
+                due.pop()
+                self._size -= 1
+                return event
+            if not self._refill():
+                return None
+
+    def next_live_time(self) -> Optional[int]:
+        free = self._free
+        while True:
+            due = self._due
+            while due:
+                key = due[-1]
+                if key[2].cancelled:
+                    due.pop()
+                    self._size -= 1
+                    self._dead -= 1
+                    free.append(key[2])
+                    continue
+                return -key[0]
+            if not self._refill():
+                return None
+
+    # ------------------------------------------------------------------
+    def _refill(self) -> bool:
+        """Advance the wheel until the due buffer gains an entry.
+
+        Returns False when nothing is stored anywhere.  Jumps over empty
+        regions: within a ring it scans at most 256 slot headers, and an
+        empty remainder of a ring bumps ``_wtime`` straight to the next
+        higher-level slot boundary (safe because lower levels were empty
+        and higher-level entries cannot live below that boundary).
+        """
+        counts = self._counts
+        rings = self._rings
+        free = self._free
+        while True:
+            if (
+                counts[0] or counts[1] or counts[2]
+                or counts[3] or counts[4]
+            ):
+                wtime = self._wtime
+                # Cascade every higher-level slot whose window contains
+                # the sweep position: its entries may be due anywhere
+                # inside that window — i.e. *before* level-0 entries
+                # further along — so they must descend first, even while
+                # lower levels still hold work.  Entries strictly descend
+                # (an entry inside the current level-L slot is < span of
+                # level L-1 away from _wtime), so this terminates.
+                cascaded = False
+                for level in range(1, _LEVELS):
+                    if not counts[level]:
+                        continue
+                    index = (wtime >> _SHIFTS[level]) & _RING_MASK
+                    slot = rings[level][index]
+                    if slot:
+                        rings[level][index] = []
+                        counts[level] -= len(slot)
+                        for key in slot:
+                            self._insert_key(key)
+                        cascaded = True
+                if cascaded and self._due:
+                    # The cascade fed the sorted buffer directly (entries
+                    # behind _wtime inside the slot); serve those first.
+                    return True
+                # Drain the next occupied level-0 slot in this window.
+                if counts[0]:
+                    ring = rings[0]
+                    start = (wtime >> _SLOT_SHIFT) & _RING_MASK
+                    found = -1
+                    for index in range(start, 256):
+                        if ring[index]:
+                            found = index
+                            break
+                    if found >= 0:
+                        window = (wtime >> 18) << 18
+                        slot_start = window + (found << _SLOT_SHIFT)
+                        slot = ring[found]
+                        ring[found] = []
+                        counts[0] -= len(slot)
+                        if self._drain_slot0(slot, slot_start):
+                            return True
+                        continue  # slot held only dead/stray entries
+                    # Entries exist but aliased into the *next* level-0
+                    # window: advance exactly one window (they may be
+                    # earlier than anything stored at higher levels, so
+                    # no bigger jump is safe).
+                    up = _SLOT_SHIFT + _RING_BITS
+                    self._wtime = ((wtime >> up) + 1) << up
+                    continue
+                # Level 0 is empty: jump to the next occupied slot at the
+                # lowest populated level (its current slot was cascaded,
+                # so anything found starts strictly ahead), or — if the
+                # rest of that ring window is empty too — to the next
+                # level-(L+1) slot boundary, and rescan.
+                for level in range(1, _LEVELS):
+                    if not counts[level]:
+                        continue
+                    shift = _SHIFTS[level]
+                    ring = rings[level]
+                    start = (wtime >> shift) & _RING_MASK
+                    found = -1
+                    for index in range(start, 256):
+                        if ring[index]:
+                            found = index
+                            break
+                    up = shift + _RING_BITS
+                    if found < 0:
+                        self._wtime = ((wtime >> up) + 1) << up
+                    else:
+                        window = (wtime >> up) << up
+                        self._wtime = window + (found << shift)
+                    break
+                continue
+            # Rings are empty; only the overflow list may hold entries.
+            overflow = self._overflow
+            if not overflow:
+                return False
+            live: List[Key] = []
+            for key in overflow:
+                if key[2].cancelled:
+                    self._size -= 1
+                    self._dead -= 1
+                    free.append(key[2])
+                else:
+                    live.append(key)
+            self._overflow = []
+            if not live:
+                return False
+            t_min = -max(live)[0]  # largest key == smallest time
+            if t_min > self._wtime:
+                self._wtime = (t_min >> _SLOT_SHIFT) << _SLOT_SHIFT
+            for key in live:
+                self._insert_key(key)
+            if self._due:
+                return True
+
+    def _drain_slot0(self, slot: List[Key], slot_start: int) -> bool:
+        """Sort one level-0 slot into the due buffer; True if due non-empty."""
+        end = slot_start + (1 << _SLOT_SHIFT)
+        # Comprehension passes instead of one interpreted loop: churn
+        # slots are mostly dead entries, and this filter is the wheel's
+        # hottest non-engine path.
+        live = [key for key in slot if not key[2].cancelled]
+        ndead = len(slot) - len(live)
+        if ndead:
+            self._size -= ndead
+            self._dead -= ndead
+            self._free.extend(
+                [key[2] for key in slot if key[2].cancelled]
+            )
+        self._wtime = end
+        if live:
+            live.sort()
+            if -live[0][0] >= end:
+                # Defensive: entries aliased from a future wrap of this
+                # ring.  Negated keys sort them to the front; peel them
+                # off and re-place now that _wtime has advanced.
+                idx = 1
+                while idx < len(live) and -live[idx][0] >= end:
+                    idx += 1
+                stray = live[:idx]
+                del live[:idx]
+                for key in stray:
+                    self._insert_key(key)
+            due = self._due
+            if due:
+                due.extend(live)
+                due.sort()
+            else:
+                self._due = due = live
+            return bool(due)
+        return bool(self._due)
+
+    # ------------------------------------------------------------------
+    def compact(self) -> None:
+        free = self._free
+        total = 0
+        for level, ring in enumerate(self._rings):
+            count = 0
+            for slot in ring:
+                if slot:
+                    live = [key for key in slot if not key[2].cancelled]
+                    if len(live) != len(slot):
+                        for key in slot:
+                            if key[2].cancelled:
+                                free.append(key[2])
+                        slot[:] = live
+                    count += len(live)
+            self._counts[level] = count
+            total += count
+        for store_name in ("_due", "_overflow"):
+            store = getattr(self, store_name)
+            live = [key for key in store if not key[2].cancelled]
+            if len(live) != len(store):
+                for key in store:
+                    if key[2].cancelled:
+                        free.append(key[2])
+                store[:] = live
+            total += len(live)
+        self._size = total
+        self._dead = 0
+
+    def drain_live(self) -> Iterator[Entry]:
+        stores: List[List[Key]] = [self._due, self._overflow]
+        for ring in self._rings:
+            stores.extend(slot for slot in ring if slot)
+        self._rings = tuple(
+            [[] for _ in range(1 << _RING_BITS)] for _ in range(_LEVELS)
+        )
+        self._counts = [0] * _LEVELS
+        self._due = []
+        self._overflow = []
+        self._size = 0
+        self._dead = 0
+        free = self._free
+        for store in stores:
+            for key in store:
+                if key[2].cancelled:
+                    free.append(key[2])
+                else:
+                    yield (-key[0], -key[1], key[2])

@@ -21,6 +21,8 @@ class Timer:
     the callback when it fires.
     """
 
+    __slots__ = ("_sim", "_callback", "_event", "name")
+
     def __init__(self, sim: Simulator, callback: Callable[..., None], name: str = ""):
         self._sim = sim
         self._callback = callback

@@ -31,6 +31,43 @@ def test_serial_matches_parallel():
     assert pickle.loads(pickle.dumps(serial)) == serial
 
 
+def test_scheduler_backends_give_identical_results():
+    """Every scheduler backend reproduces the default's cell results
+    bit-for-bit (the runner's --scheduler flag must never change data)."""
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    for backend in ("heap", "calendar", "wheel"):
+        pinned = run_cells(QUICK_SPECS, jobs=1, root_seed=7, scheduler=backend)
+        assert pinned == reference, backend
+
+
+def test_scheduler_env_restored_after_run(monkeypatch):
+    monkeypatch.delenv("REPRO_SCHEDULER", raising=False)
+    run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7, scheduler="calendar")
+    import os
+
+    assert "REPRO_SCHEDULER" not in os.environ
+
+
+def test_unknown_scheduler_rejected():
+    with pytest.raises(ValueError, match="unknown scheduler"):
+        run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7, scheduler="bogus")
+
+
+def test_profile_dir_writes_one_stats_file_per_cell(tmp_path):
+    """--profile produces loadable pstats files and identical results."""
+    import pstats
+
+    profiled = run_cells(
+        QUICK_SPECS, jobs=1, root_seed=7, profile_dir=str(tmp_path)
+    )
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    assert profiled == reference
+    files = sorted(tmp_path.glob("cell_*.prof"))
+    assert len(files) == len(QUICK_SPECS)
+    stats = pstats.Stats(str(files[0]))
+    assert stats.total_calls > 0
+
+
 def test_results_in_submission_order():
     results = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
     assert [r.scalars["rho0"] for r in results] == [0.94, 1.00]

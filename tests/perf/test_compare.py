@@ -2,8 +2,12 @@
 workloads themselves (at smoke scale, so CI never waits on a benchmark)."""
 
 from repro.perf.bench import build_payload, machine_info, run_kernel_suite
-from repro.perf.compare import compare_results
-from repro.perf.workloads import KERNEL_WORKLOADS
+from repro.perf.compare import compare_results, snapshot_schedulers
+from repro.perf.workloads import (
+    KERNEL_WORKLOADS,
+    TimerChurnWorkload,
+    run_churn_workload,
+)
 
 
 def _kernel_rows(**rates):
@@ -15,7 +19,7 @@ def test_compare_passes_within_threshold():
     fresh = _kernel_rows(a=90_000.0)  # -10%, inside the 15% budget
     report, regressions = compare_results("kernel", committed, fresh, 0.15)
     assert regressions == []
-    assert any("a:" in line for line in report)
+    assert any("a@adaptive:" in line for line in report)
 
 
 def test_compare_fails_beyond_threshold():
@@ -23,7 +27,7 @@ def test_compare_fails_beyond_threshold():
     fresh = _kernel_rows(a=80_000.0, b=99_000.0)  # a is -20%
     _, regressions = compare_results("kernel", committed, fresh, 0.15)
     assert len(regressions) == 1
-    assert "a regressed" in regressions[0]
+    assert "a@adaptive regressed" in regressions[0]
 
 
 def test_compare_experiments_uses_inverse_wall_clock():
@@ -60,11 +64,63 @@ def test_snapshot_payload_schema():
     assert payload["baseline"]["results"] == {"a": 1.0}
 
 
+def test_compare_skips_zero_throughput_baseline():
+    """A zero committed number can't produce a ratio: warn and skip."""
+    committed = _kernel_rows(a=0.0, b=100_000.0)
+    fresh = _kernel_rows(a=50_000.0, b=100_000.0)
+    report, regressions = compare_results("kernel", committed, fresh, 0.15)
+    assert regressions == []
+    assert any("zero" in line for line in report)
+
+
+def test_compare_matches_legacy_bare_names_to_adaptive_rows():
+    """Pre-backend snapshots (bare names) gate against the adaptive rows
+    of a fresh backend-dimension run."""
+    committed = _kernel_rows(dumbbell=100_000.0)
+    fresh = [
+        {"name": "dumbbell@adaptive", "events_per_sec": 70_000.0},
+        {"name": "dumbbell@wheel", "events_per_sec": 200_000.0},
+    ]
+    report, regressions = compare_results("kernel", committed, fresh, 0.15)
+    assert len(regressions) == 1
+    assert "dumbbell@adaptive" in regressions[0]
+    assert any("dumbbell@wheel: new workload" in line for line in report)
+
+
+def test_snapshot_schedulers_extraction():
+    rows = [
+        {"name": "a@heap", "scheduler": "heap"},
+        {"name": "a@wheel", "scheduler": "wheel"},
+        {"name": "b@heap", "scheduler": "heap"},
+        {"name": "legacy_bare"},
+    ]
+    assert snapshot_schedulers(rows) == ["heap", "wheel", "adaptive"]
+
+
 def test_kernel_workloads_run_at_smoke_scale():
     """The pinned workloads execute end-to-end (1% duration: ~fractions of
     a second) and report sane positive throughput."""
-    results = run_kernel_suite(repeats=1, duration_scale=0.01)
-    assert [r["name"] for r in results] == [w.name for w in KERNEL_WORKLOADS]
+    results = run_kernel_suite(
+        repeats=1, duration_scale=0.01, schedulers=("adaptive",)
+    )
+    assert [r["name"] for r in results] == [
+        f"{w.name}@adaptive" for w in KERNEL_WORKLOADS
+    ]
     for row in results:
         assert row["events"] > 0
         assert row["events_per_sec"] > 0
+        assert row["scheduler"] == "adaptive"
+        assert row["workload"] in {w.name for w in KERNEL_WORKLOADS}
+
+
+def test_churn_workload_is_backend_invariant():
+    """The timer-churn trace is bit-identical across backends: same event
+    count and final clock on every scheduler."""
+    tiny = TimerChurnWorkload("churn_probe", 64, 0.001)
+    reference = None
+    for scheduler in ("heap", "calendar", "wheel", "adaptive"):
+        row = run_churn_workload(tiny, scheduler=scheduler)
+        probe = (row["events"],)
+        if reference is None:
+            reference = probe
+        assert probe == reference, scheduler

@@ -21,6 +21,8 @@ shows a readable diff for the most informative fields.
 import hashlib
 import json
 
+import pytest
+
 from repro.experiments.common import build_topology
 from repro.metrics.fct import FctCollector
 from repro.net.topology import dumbbell
@@ -123,3 +125,30 @@ def test_golden_fig13_benchmark_cell():
     )
     assert _digest([list(r) for r in records]) == "143d85e14736aa91"
     assert _digest(_port_state(net)) == "3255488c8e6eca49"
+
+
+@pytest.mark.parametrize(
+    "backend", ["heap", "calendar", "wheel", "adaptive"]
+)
+def test_golden_dumbbell_every_scheduler_backend(monkeypatch, backend):
+    """The golden dumbbell constants hold bit-identically on every
+    scheduler backend (selected exactly as CI shards do, via the
+    ``REPRO_SCHEDULER`` environment variable)."""
+    monkeypatch.setenv("REPRO_SCHEDULER", backend)
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    assert topo.sim.scheduler_name == backend
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    topo.network.run_for(seconds(0.1))
+    net = topo.network
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
