@@ -9,6 +9,7 @@ from .common import (
     derive_cell_seed,
     format_table,
 )
+from .ecmp_collision import CollisionResult, run_collision
 from .fig06_rttb import RttbResult, run_fig06
 from .fig07_ne import NeResult, run_fig07
 from .fig08_queue import StaggeredFlowsResult, run_staggered_flows
@@ -16,6 +17,7 @@ from .fig11_work_conserving import WorkConservingResult, run_fig11
 from .fig12_incast import IncastPoint, run_fig12, run_fig15, run_incast_point
 from .fig13_benchmark import BenchmarkResult, run_benchmark, run_fig13, run_fig16
 from .fig14_rho import RhoPoint, run_fig14, run_rho_point
+from .multipath_benchmark import run_multipath_benchmark
 
 __all__ = [
     "ALL_PROTOCOLS",
@@ -47,4 +49,7 @@ __all__ = [
     "RhoPoint",
     "run_fig14",
     "run_rho_point",
+    "CollisionResult",
+    "run_collision",
+    "run_multipath_benchmark",
 ]

@@ -32,8 +32,10 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
+from ..routing import ROUTING_NAMES, routing_env
 from ..sim.sched import SCHEDULER_NAMES, scheduler_env
 from .common import ALL_PROTOCOLS, ExperimentResult, derive_cell_seed, format_table
+from .ecmp_collision import run_collision_cell
 from .fig06_rttb import run_fig06_cell
 from .fig07_ne import run_fig07_cell
 from .fig08_queue import run_staggered_cell
@@ -41,6 +43,7 @@ from .fig11_work_conserving import run_fig11_cell
 from .fig12_incast import run_incast_cell
 from .fig13_benchmark import run_benchmark_cell
 from .fig14_rho import run_rho_cell
+from .multipath_benchmark import run_multipath_cell
 
 CellFn = Callable[..., ExperimentResult]
 
@@ -55,7 +58,12 @@ FIGURE_CELLS: Dict[str, CellFn] = {
     "fig12": run_incast_cell,
     "fig13": run_benchmark_cell,
     "fig14": run_rho_cell,
+    "ecmp": run_collision_cell,
+    "mpath": run_multipath_cell,
 }
+
+#: Routing policies swept by the multi-path default plans.
+MULTIPATH_ROUTINGS = ("single", "ecmp", "flowlet", "spray")
 
 
 class RunnerError(RuntimeError):
@@ -119,6 +127,7 @@ def run_cells(
     jobs: int = 1,
     root_seed: int = 0,
     scheduler: Optional[str] = None,
+    routing: Optional[str] = None,
     profile_dir: Optional[str] = None,
 ) -> List[ExperimentResult]:
     """Run every cell and return results in the order specs were given.
@@ -128,14 +137,17 @@ def run_cells(
     process pool; a pool that cannot even start degrades to the serial
     path, but a cell that *fails* always surfaces as :class:`RunnerError`.
 
-    ``scheduler`` pins the simulator backend for every cell (exported as
-    ``REPRO_SCHEDULER``, which pool workers inherit).  ``profile_dir``
-    writes one cProfile stats file per cell into the directory; profiled
-    runs are forced onto the serial path — a worker process would profile
-    the pool plumbing, not the simulation.
+    ``scheduler`` pins the simulator backend and ``routing`` the routing
+    policy for every cell (exported as ``REPRO_SCHEDULER`` /
+    ``REPRO_ROUTING``, which pool workers inherit; a cell that takes an
+    explicit ``routing`` kwarg — the multi-path figures — wins over the
+    env default).  ``profile_dir`` writes one cProfile stats file per
+    cell into the directory; profiled runs are forced onto the serial
+    path — a worker process would profile the pool plumbing, not the
+    simulation.
     """
     resolved = [spec.resolved(root_seed) for spec in specs]
-    with scheduler_env(scheduler):
+    with scheduler_env(scheduler), routing_env(routing):
         if profile_dir is not None:
             return _run_profiled(resolved, profile_dir)
         if jobs > 1 and len(resolved) > 1:
@@ -284,6 +296,37 @@ def default_plan(
                         {"rho0": rho0, "duration_s": 0.2 if quick else 1.0},
                     )
                 )
+        elif figure == "ecmp":
+            # Collision study: every protocol under every policy, so both
+            # the collision case (ecmp) and its cures (flowlet, spray)
+            # carry a single-path baseline next to them.
+            for protocol in ALL_PROTOCOLS:
+                for routing in MULTIPATH_ROUTINGS:
+                    specs.append(
+                        CellSpec(
+                            "ecmp",
+                            {
+                                "protocol": protocol,
+                                "routing": routing,
+                                "duration_s": 0.03 if quick else 0.2,
+                            },
+                        )
+                    )
+        elif figure == "mpath":
+            # TFC vs DCTCP under the Fig. 13 workload across policies.
+            for protocol in ("tfc", "dctcp"):
+                for routing in MULTIPATH_ROUTINGS:
+                    specs.append(
+                        CellSpec(
+                            "mpath",
+                            {
+                                "protocol": protocol,
+                                "routing": routing,
+                                "duration_s": 0.2 if quick else 1.0,
+                                "drain_s": 0.2 if quick else 0.5,
+                            },
+                        )
+                    )
         else:
             raise RunnerError(
                 f"no default plan for {figure!r}; "
@@ -334,6 +377,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "(default: adaptive, or $REPRO_SCHEDULER if set)",
     )
     parser.add_argument(
+        "--routing",
+        default=None,
+        choices=ROUTING_NAMES,
+        help="pin the routing policy for every cell "
+        "(default: single, or $REPRO_ROUTING if set; cells that sweep "
+        "routing explicitly override this)",
+    )
+    parser.add_argument(
         "--profile",
         metavar="DIR",
         default=None,
@@ -354,6 +405,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"running {len(specs)} cells across {', '.join(args.figures)} "
         f"with jobs={jobs}"
         + (f" scheduler={args.scheduler}" if args.scheduler else "")
+        + (f" routing={args.routing}" if args.routing else "")
     )
     start = time.perf_counter()
     results = run_cells(
@@ -361,6 +413,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         jobs=jobs,
         root_seed=args.seed,
         scheduler=args.scheduler,
+        routing=args.routing,
         profile_dir=args.profile,
     )
     elapsed = time.perf_counter() - start

@@ -124,6 +124,7 @@ class FaultInjector:
         at_ns: int,
         duration_ns: Optional[int] = None,
         both_directions: bool = True,
+        reroute: bool = False,
     ) -> FaultRecord:
         """Cut the cable behind ``port`` at ``at_ns``.
 
@@ -131,6 +132,13 @@ class FaultInjector:
         transmitting port keeps draining its queue into the cut — exactly
         what a NIC does until the carrier-loss interrupt).  With
         ``duration_ns`` the cable comes back afterwards.
+
+        ``reroute=True`` models a fabric whose control plane notices the
+        carrier loss: :meth:`~repro.net.network.Network.rebuild_routes`
+        runs right after the cut (and again after the restore), steering
+        traffic onto surviving equal-cost paths instead of letting the
+        stale route blackhole it.  The default keeps the blackhole — the
+        pessimistic case the recovery experiments compare against.
         """
         links = [port.link]
         if both_directions:
@@ -139,17 +147,22 @@ class FaultInjector:
                 links.append(reverse.link)
         end_ns = None if duration_ns is None else at_ns + duration_ns
         record = self._record(
-            "link_down", self._port_name(port), at_ns, end_ns
+            "link_down", self._port_name(port), at_ns, end_ns,
+            reroute=reroute,
         )
 
         def down() -> None:
             for link in links:
                 link.up = False
+            if reroute:
+                self.network.rebuild_routes()
             self._emit(FAULT_INJECTED, record)
 
         def up() -> None:
             for link in links:
                 link.up = True
+            if reroute:
+                self.network.rebuild_routes()
             self._emit(FAULT_CLEARED, record)
 
         self._at(at_ns, down)
@@ -158,10 +171,12 @@ class FaultInjector:
         return record
 
     def link_flap(
-        self, port: "Port", at_ns: int, down_ns: int
+        self, port: "Port", at_ns: int, down_ns: int, reroute: bool = False
     ) -> FaultRecord:
         """Convenience alias: a transient :meth:`link_down`."""
-        return self.link_down(port, at_ns, duration_ns=down_ns)
+        return self.link_down(
+            port, at_ns, duration_ns=down_ns, reroute=reroute
+        )
 
     def degrade_link(
         self,

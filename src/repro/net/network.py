@@ -5,13 +5,22 @@ tracer, and RNG, provides builders for hosts/switches/cables, and computes
 forwarding tables once the topology is wired.  Cables are full duplex — one
 call creates both unidirectional links with their own ports and queues, so
 the two directions never share a queue (as on real hardware).
+
+Routing is equal-cost multi-path aware: :meth:`Network.build_routes` fills
+both the classic single next hop (``forwarding_table``) and the full
+equal-cost set (``multipath_table``) at every node, then installs the
+network's :class:`~repro.routing.RoutingPolicy` (``single`` / ``ecmp`` /
+``flowlet`` / ``spray``) which picks among the candidates per packet.
+:meth:`Network.rebuild_routes` recomputes both tables around links that
+are administratively down — the fault engine's reroute hook.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
+from ..routing import RoutingPolicy, resolve_routing
 from ..sim.engine import Simulator
 from ..sim.rng import SeedSequence
 from ..sim.trace import Tracer
@@ -40,10 +49,14 @@ class Network:
         host_buffer_bytes: int = 4_000_000,
         host_processing_delay_ns: int = 2_000,
         host_processing_jitter_ns: int = 4_000,
+        routing: Optional[Union[str, RoutingPolicy]] = None,
     ):
         self.sim = Simulator()
         self.tracer = Tracer()
         self.seeds = SeedSequence(seed)
+        # Policy name, instance, or None (= $REPRO_ROUTING, then "single").
+        self.routing = resolve_routing(routing)
+        self.route_rebuilds = 0
         self.default_buffer_bytes = default_buffer_bytes
         self.host_buffer_bytes = host_buffer_bytes
         self.host_processing_delay_ns = host_processing_delay_ns
@@ -116,31 +129,81 @@ class Network:
     # Routing
     # ------------------------------------------------------------------
     def build_routes(self) -> None:
-        """Populate every node's forwarding table with BFS shortest paths.
+        """Populate every node's forwarding tables with BFS shortest paths.
 
-        Ties are broken by neighbour insertion order, which is deterministic
-        because topology builders wire cables in a fixed order.
+        ``forwarding_table`` gets one elected next hop per destination
+        (ties broken by neighbour insertion order, deterministic because
+        topology builders wire cables in a fixed order — bit-identical to
+        the pre-multipath behaviour).  ``multipath_table`` gets the full
+        equal-cost set, elected port first and the rest in ascending port
+        order.  Finally the routing policy is installed on the switches.
         """
         for destination in self.nodes:
             self._route_towards(destination.node_id)
+        self.routing.install(self)
+
+    def rebuild_routes(self) -> None:
+        """Recompute every route honouring links that are currently down.
+
+        The fault engine's reroute hook: after a ``link_down`` (or its
+        restore), both tables are rebuilt from scratch around the dead
+        links and the routing policy drops any per-flow path picks that
+        may now point at them.  Destinations left unreachable simply
+        lose their entries — forwarding to them raises, like a real
+        blackhole, until a later rebuild restores connectivity.
+        """
+        for node in self.nodes:
+            node.forwarding_table.clear()
+            node.multipath_table.clear()
+        for destination in self.nodes:
+            self._route_towards(destination.node_id)
+        self.route_rebuilds += 1
+        self.routing.on_routes_rebuilt(self)
 
     def _route_towards(self, dst_id: int) -> None:
         # BFS outward from the destination; the first hop discovered at each
-        # node is its next hop towards dst.
-        visited = {dst_id}
+        # node is its elected next hop towards dst.  Edges whose forward
+        # direction (node -> neighbour-closer-to-dst) is administratively
+        # down are unusable; a node none of whose candidate links are up is
+        # treated as unreachable along that branch.
+        nodes = self.nodes
+        adjacency = self._adjacency
+        dist = {dst_id: 0}
         frontier = deque([dst_id])
         while frontier:
             current = frontier.popleft()
-            for neighbor_id, neighbor_port in self._adjacency[current]:
-                if neighbor_id in visited:
+            next_dist = dist[current] + 1
+            for neighbor_id, neighbor_port in adjacency[current]:
+                if neighbor_id in dist:
                     continue
                 # neighbor reaches dst via the port pointing back at current.
-                for peer_id, port_index in self._adjacency[neighbor_id]:
-                    if peer_id == current:
-                        self.nodes[neighbor_id].forwarding_table[dst_id] = port_index
+                neighbor = nodes[neighbor_id]
+                for peer_id, port_index in adjacency[neighbor_id]:
+                    if peer_id == current and neighbor.ports[port_index].link.up:
+                        neighbor.forwarding_table[dst_id] = port_index
                         break
-                visited.add(neighbor_id)
+                else:
+                    continue  # no live link back towards current
+                dist[neighbor_id] = next_dist
                 frontier.append(neighbor_id)
+        # Second pass: the full equal-cost set per node — every live port
+        # towards a neighbour one hop closer to dst.  The BFS-elected port
+        # leads (so single-path behaviour is literally candidates[0]); the
+        # remaining candidates follow in ascending port order.
+        for node_id, node_dist in dist.items():
+            if node_id == dst_id:
+                continue
+            node = nodes[node_id]
+            target = node_dist - 1
+            elected = node.forwarding_table[dst_id]
+            equal_cost = sorted(
+                port_index
+                for neighbor_id, port_index in adjacency[node_id]
+                if dist.get(neighbor_id) == target
+                and node.ports[port_index].link.up
+                and port_index != elected
+            )
+            node.multipath_table[dst_id] = (elected, *equal_cost)
 
     # ------------------------------------------------------------------
     # Convenience

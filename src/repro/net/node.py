@@ -2,13 +2,18 @@
 
 A :class:`Node` owns its outgoing :class:`~repro.net.port.Port` objects and
 receives packets from incoming links.  Routing is static: topology builders
-populate ``forwarding_table`` (destination node id -> local port index) from
-shortest paths after wiring everything up.
+populate ``forwarding_table`` (destination node id -> the BFS-elected local
+port index) and ``multipath_table`` (destination node id -> every
+equal-cost port index, elected port first) from shortest paths after
+wiring everything up.  Which port a packet actually takes is decided by
+the network's :class:`~repro.routing.RoutingPolicy`; the default
+``single`` policy leaves ``Switch.routing`` detached so the datapath is
+the plain forwarding-table lookup.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..sim.engine import Simulator
 from ..sim.trace import Tracer
@@ -26,6 +31,7 @@ class Node:
         self.tracer = tracer
         self.ports: List[Port] = []
         self.forwarding_table: Dict[int, int] = {}
+        self.multipath_table: Dict[int, Tuple[int, ...]] = {}
         self.rx_packets = 0
         self.rx_bytes = 0
 
@@ -39,8 +45,14 @@ class Node:
         return port.index
 
     def port_towards(self, dst_node_id: int) -> Port:
-        """The outgoing port used to reach ``dst_node_id``."""
+        """The (BFS-elected) outgoing port used to reach ``dst_node_id``."""
         return self.ports[self.forwarding_table[dst_node_id]]
+
+    def ports_towards(self, dst_node_id: int) -> List[Port]:
+        """Every equal-cost outgoing port towards ``dst_node_id``."""
+        return [
+            self.ports[index] for index in self.multipath_table[dst_node_id]
+        ]
 
     # ------------------------------------------------------------------
     # Datapath
@@ -71,7 +83,15 @@ class Switch(Node):
       the agent's link (the reverse direction, where RMA ACKs travel).
       Returns True when the agent consumed the packet (delay function) and
       will re-inject it later via :meth:`inject`.
+
+    ``routing`` is the multi-path hook: the network's routing policy
+    attaches itself here (see :meth:`repro.routing.RoutingPolicy.install`)
+    and :meth:`forward` delegates the equal-cost pick to it.  The default
+    ``single`` policy leaves it ``None``, keeping the original fixed
+    next-hop lookup as the fast path.
     """
+
+    routing = None  # RoutingPolicy instance, or None for fixed next hop
 
     def handle_packet(self, packet: Packet, in_port_index: int) -> None:
         ports = self.ports
@@ -82,12 +102,21 @@ class Switch(Node):
         self.forward(packet)
 
     def forward(self, packet: Packet) -> None:
-        """Route ``packet`` out the port towards its destination."""
-        out_index = self.forwarding_table.get(packet.dst)
-        if out_index is None:
-            raise KeyError(
-                f"{self.name}: no route to node {packet.dst} for {packet!r}"
-            )
+        """Route ``packet`` out a port towards its destination."""
+        routing = self.routing
+        if routing is None:
+            out_index = self.forwarding_table.get(packet.dst)
+            if out_index is None:
+                raise KeyError(
+                    f"{self.name}: no route to node {packet.dst} for {packet!r}"
+                )
+        else:
+            try:
+                out_index = routing.select(self, packet)
+            except KeyError:
+                raise KeyError(
+                    f"{self.name}: no route to node {packet.dst} for {packet!r}"
+                ) from None
         out_port = self.ports[out_index]
         if out_port.agent is not None:
             out_port.agent.on_transit(packet)

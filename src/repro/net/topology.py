@@ -8,9 +8,18 @@
   hosts 1,2 and 3,4 on switches S1, S2 joined by one inter-switch link.
 * :func:`leaf_spine` — the Fig. 16 simulation topology: one spine, 18
   leaves x 20 servers, 1 Gbps downlinks, 10 Gbps uplinks, 20 us links.
+  ``spines=N`` adds more spines, giving every leaf N equal-cost uplinks
+  (the smallest honest multi-path fabric).
+* :func:`fat_tree` — a k-ary fat tree (Al-Fares wiring): k pods of k/2
+  edge and k/2 aggregation switches, (k/2)^2 cores, k^3/4 hosts, full
+  bisection bandwidth and (k/2)^2 equal-cost paths between pods — the
+  setting for the ECMP-collision and path-asymmetry experiments.
 
 Builders return a :class:`Topology` handle exposing the hosts, switches and
 the designated bottleneck port(s) so experiments can attach samplers.
+Every builder accepts ``routing=`` (a policy name or instance, forwarded
+to :class:`~repro.net.network.Network`); the default follows
+``$REPRO_ROUTING`` and falls back to single-path.
 """
 
 from __future__ import annotations
@@ -56,6 +65,7 @@ def dumbbell(
     seed: int = 0,
     queue_factory: Optional[QueueFactory] = None,
     n_receivers: int = 1,
+    routing=None,
 ) -> Topology:
     """``n_senders`` hosts -> switch -> ``n_receivers`` hosts.
 
@@ -64,7 +74,7 @@ def dumbbell(
     """
     if n_senders < 1:
         raise ValueError("need at least one sender")
-    net = Network(seed=seed, default_buffer_bytes=buffer_bytes)
+    net = Network(seed=seed, default_buffer_bytes=buffer_bytes, routing=routing)
     switch = net.add_switch("SW")
     senders = [net.add_host(f"S{i}") for i in range(n_senders)]
     receivers = [net.add_host(f"R{i}") for i in range(n_receivers)]
@@ -94,6 +104,7 @@ def testbed(
     queue_factory: Optional[QueueFactory] = None,
     hosts_per_leaf: int = 3,
     n_leaves: int = 3,
+    routing=None,
 ) -> Topology:
     """The paper's Fig. 4 testbed: NF0 root, NF1-NF3 leaves, H1-H9 hosts.
 
@@ -102,7 +113,7 @@ def testbed(
     ``to_H<k>`` (the leaf port feeding that host) — the paper samples the
     "port connecting to host H3 / H6" in several experiments.
     """
-    net = Network(seed=seed, default_buffer_bytes=buffer_bytes)
+    net = Network(seed=seed, default_buffer_bytes=buffer_bytes, routing=routing)
     root = net.add_switch("NF0")
     leaves = [net.add_switch(f"NF{i + 1}") for i in range(n_leaves)]
     hosts: List[Host] = []
@@ -132,6 +143,7 @@ def multi_bottleneck(
     buffer_bytes: int = 256_000,
     seed: int = 0,
     queue_factory: Optional[QueueFactory] = None,
+    routing=None,
 ) -> Topology:
     """The paper's Fig. 5 scenario: two switches, two bottlenecks.
 
@@ -143,7 +155,7 @@ def multi_bottleneck(
     Bottlenecks registered: ``s1_up`` (S1 -> S2 inter-switch port) and
     ``s2_to_h3`` (S2 -> host 3 port).
     """
-    net = Network(seed=seed, default_buffer_bytes=buffer_bytes)
+    net = Network(seed=seed, default_buffer_bytes=buffer_bytes, routing=routing)
     s1 = net.add_switch("S1")
     s2 = net.add_switch("S2")
     h1 = net.add_host("1")
@@ -173,18 +185,31 @@ def leaf_spine(
     buffer_bytes: int = 512_000,
     seed: int = 0,
     queue_factory: Optional[QueueFactory] = None,
+    spines: int = 1,
+    routing=None,
 ) -> Topology:
     """The Fig. 16 simulation topology (one spine, 18x20 servers).
 
     With 20 us links and store-and-forward, the 4-hop inter-rack RTT is
     ~160 us and the 2-hop intra-rack RTT ~80 us, matching the paper.
     Bottleneck ports registered as ``to_H<k>`` for each leaf downlink.
+
+    ``spines=N`` builds the multi-spine variant: every leaf gets one
+    uplink per spine, so inter-rack traffic sees N equal-cost two-hop
+    paths — the smallest topology where the routing policies diverge.
+    The single-spine default wires exactly the original topology.
     """
-    net = Network(seed=seed, default_buffer_bytes=buffer_bytes)
-    spine = net.add_switch("SPINE")
+    if spines < 1:
+        raise ValueError("need at least one spine")
+    net = Network(seed=seed, default_buffer_bytes=buffer_bytes, routing=routing)
+    spine_switches = [
+        net.add_switch("SPINE" if spines == 1 else f"SPINE{i}")
+        for i in range(spines)
+    ]
     leaves = [net.add_switch(f"L{i}") for i in range(n_leaves)]
     for leaf in leaves:
-        net.cable(leaf, spine, up_rate_bps, link_delay_ns, queue_factory)
+        for spine in spine_switches:
+            net.cable(leaf, spine, up_rate_bps, link_delay_ns, queue_factory)
     hosts: List[Host] = []
     bottlenecks: Dict[str, Port] = {}
     host_number = 1
@@ -201,6 +226,89 @@ def leaf_spine(
     return Topology(
         network=net,
         hosts=hosts,
-        switches=[spine] + leaves,
+        switches=spine_switches + leaves,
+        bottleneck_ports=bottlenecks,
+    )
+
+
+def fat_tree(
+    k: int = 4,
+    rate_bps: int = GBPS,
+    link_delay_ns: int = microseconds(5),
+    buffer_bytes: int = 256_000,
+    seed: int = 0,
+    queue_factory: Optional[QueueFactory] = None,
+    routing=None,
+) -> Topology:
+    """A k-ary fat tree (Al-Fares et al.), the multi-path workhorse.
+
+    Structure for even ``k``:
+
+    * ``(k/2)^2`` core switches in ``k/2`` groups of ``k/2`` (named
+      ``C<group>_<i>``);
+    * ``k`` pods, each with ``k/2`` aggregation switches ``A<pod>_<j>``
+      and ``k/2`` edge switches ``E<pod>_<j>``; aggregation switch ``j``
+      uplinks to every core in group ``j``, and every edge switch
+      connects to every aggregation switch in its pod;
+    * ``k/2`` hosts per edge switch — ``k^3/4`` hosts total, named
+      ``H1..`` in pod order.
+
+    Every link runs at one rate, so the fabric has full bisection
+    bandwidth and ``(k/2)^2`` equal-cost paths between hosts in
+    different pods (``k/2`` between different edges of one pod).  Edge
+    ports feeding hosts are registered as ``to_H<n>`` bottlenecks.
+
+    ``topology.switches`` lists cores, then aggregations, then edges,
+    each in construction order; the structured names (``C*``, ``A*``,
+    ``E*``) let experiments slice them back apart by prefix.
+    """
+    if k < 2 or k % 2:
+        raise ValueError(f"fat tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    net = Network(seed=seed, default_buffer_bytes=buffer_bytes, routing=routing)
+    core_groups = [
+        [net.add_switch(f"C{group}_{i}") for i in range(half)]
+        for group in range(half)
+    ]
+    agg_pods: List[List[Switch]] = []
+    edge_pods: List[List[Switch]] = []
+    for pod in range(k):
+        agg_pods.append(
+            [net.add_switch(f"A{pod}_{j}") for j in range(half)]
+        )
+        edge_pods.append(
+            [net.add_switch(f"E{pod}_{j}") for j in range(half)]
+        )
+    for pod in range(k):
+        for group, agg in enumerate(agg_pods[pod]):
+            for core in core_groups[group]:
+                net.cable(agg, core, rate_bps, link_delay_ns, queue_factory)
+    for pod in range(k):
+        for edge in edge_pods[pod]:
+            for agg in agg_pods[pod]:
+                net.cable(edge, agg, rate_bps, link_delay_ns, queue_factory)
+    hosts: List[Host] = []
+    bottlenecks: Dict[str, Port] = {}
+    host_number = 1
+    for pod in range(k):
+        for edge in edge_pods[pod]:
+            for _ in range(half):
+                host = net.add_host(f"H{host_number}")
+                hosts.append(host)
+                edge_port, _ = net.cable(
+                    edge, host, rate_bps, link_delay_ns, queue_factory
+                )
+                bottlenecks[f"to_H{host_number}"] = edge_port
+                host_number += 1
+    net.build_routes()
+    switches = (
+        [core for group in core_groups for core in group]
+        + [agg for pod_aggs in agg_pods for agg in pod_aggs]
+        + [edge for pod_edges in edge_pods for edge in pod_edges]
+    )
+    return Topology(
+        network=net,
+        hosts=hosts,
+        switches=switches,
         bottleneck_ports=bottlenecks,
     )

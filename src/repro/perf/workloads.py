@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
 from ..experiments.common import build_topology
-from ..net.topology import dumbbell
+from ..net.topology import dumbbell, fat_tree
 from ..sim.engine import Simulator
 from ..sim.sched import scheduler_env
 from ..sim.units import seconds
@@ -78,6 +78,26 @@ class TimerChurnWorkload:
 
 
 @dataclass(frozen=True)
+class FabricWorkload:
+    """Cross-pod flows saturating a k-ary fat tree under a routing policy.
+
+    Exercises the multi-path forwarding path — candidate-set lookup plus
+    a policy ``select`` call per packet per hop — which none of the
+    dumbbell workloads touch.  ``spray`` is the pinned policy because it
+    takes the selection branch on every single packet (ECMP caches the
+    pick per flow), making it the upper bound on routing overhead.
+    """
+
+    name: str
+    protocol: str
+    routing: str
+    k: int
+    n_flows: int
+    seed: int
+    duration_s: float
+
+
+@dataclass(frozen=True)
 class ExperimentWorkload:
     """One Fig. 13 testbed benchmark cell (workload generator + FCT)."""
 
@@ -88,7 +108,7 @@ class ExperimentWorkload:
     seed: int
 
 
-AnyKernelWorkload = Union[KernelWorkload, TimerChurnWorkload]
+AnyKernelWorkload = Union[KernelWorkload, TimerChurnWorkload, FabricWorkload]
 
 KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     KernelWorkload("dumbbell_tfc_4", "tfc", 4, 1, 0.4),
@@ -96,6 +116,7 @@ KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     KernelWorkload("dumbbell_tcp_8", "tcp", 8, 3, 0.2),
     TimerChurnWorkload("timer_churn_16k", 16384, 0.0012),
     TimerChurnWorkload("timer_churn_32k", 32768, 0.0006),
+    FabricWorkload("fattree4_tfc_spray_8", "tfc", "spray", 4, 8, 4, 0.05),
 )
 
 EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
@@ -121,6 +142,8 @@ def run_kernel_workload(
     """
     if isinstance(workload, TimerChurnWorkload):
         return run_churn_workload(workload, duration_scale, scheduler)
+    if isinstance(workload, FabricWorkload):
+        return run_fabric_workload(workload, duration_scale, scheduler)
     with scheduler_env(scheduler):
         topo = build_topology(
             dumbbell,
@@ -191,6 +214,44 @@ def run_churn_workload(
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": "timers",
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_fabric_workload(
+    workload: FabricWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
+) -> Dict[str, float]:
+    """Run one fat-tree multi-path workload on the given backend."""
+    with scheduler_env(scheduler):
+        topo = build_topology(
+            fat_tree,
+            workload.protocol,
+            buffer_bytes=256_000,
+            k=workload.k,
+            seed=workload.seed,
+            routing=workload.routing,
+        )
+        n_hosts = len(topo.hosts)
+        for i in range(workload.n_flows):
+            open_flow(
+                topo.hosts[i],
+                topo.hosts[n_hosts // 2 + i],
+                workload.protocol,
+            )
+        start = time.perf_counter()
+        topo.network.run_for(seconds(workload.duration_s * duration_scale))
+        wall = time.perf_counter() - start
+    events = topo.sim.events_processed
+    return {
+        "name": _row_name(workload.name, scheduler),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
+        "protocol": workload.protocol,
+        "routing": workload.routing,
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,

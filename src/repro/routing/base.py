@@ -1,0 +1,89 @@
+"""The routing-policy interface.
+
+A :class:`RoutingPolicy` decides, per packet, which of a switch's
+equal-cost next-hop ports carries the packet towards its destination.
+The candidate sets live on the nodes themselves
+(``node.multipath_table``, built by
+:meth:`repro.net.network.Network.build_routes`); the policy only picks
+an index out of them, so one policy instance serves a whole network.
+
+Determinism contract (enforced by the golden-determinism suite): a
+policy may consult only
+
+* the packet's header fields,
+* the switch's identity and its multipath table,
+* the simulation clock, and
+* state derived from the network's root seed (the ``salt`` handed to
+  :meth:`install`),
+
+so two runs with the same seed — in the same process or across
+``--jobs`` worker processes — make bit-identical path choices.  Wall
+clock, object ids, ``PYTHONHASHSEED``-dependent hashes and global
+mutable state are all off limits.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..net.network import Network
+    from ..net.node import Switch
+    from ..net.packet import Packet
+
+#: FNV-1a 64-bit offset basis / prime (the per-flow path hash).
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+
+
+def flow_hash(salt: int, *fields: int) -> int:
+    """FNV-1a over integer header fields, salted by the network seed.
+
+    Explicit (not Python's ``hash``) so the path choice is stable across
+    interpreter versions and documented enough to reproduce collisions
+    on purpose — the ECMP-collision experiment does exactly that.
+    """
+    h = _FNV_OFFSET ^ (salt & _MASK64)
+    for field in fields:
+        h ^= field & _MASK64
+        h = (h * _FNV_PRIME) & _MASK64
+    return h
+
+
+class RoutingPolicy:
+    """Picks one equal-cost next hop per packet at every switch."""
+
+    #: Registry name; subclasses override.
+    name = "abstract"
+
+    def __init__(self) -> None:
+        self.salt = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def install(self, network: "Network") -> None:
+        """Bind to ``network`` after its routes are built.
+
+        Derives the hash salt from the network's root seed and attaches
+        the policy to every switch.  The single-path policy overrides
+        this to attach *nothing*, keeping the pre-multipath datapath
+        byte-for-byte identical.
+        """
+        self.salt = network.seeds.spawn("routing").root_seed
+        for switch in network.switches:
+            switch.routing = self
+
+    def on_routes_rebuilt(self, network: "Network") -> None:
+        """Routes were recomputed (fault reroute); drop stale path picks."""
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+    def select(self, switch: "Switch", packet: "Packet") -> int:
+        """Return the outgoing port index for ``packet`` at ``switch``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r} salt={self.salt:#x}>"

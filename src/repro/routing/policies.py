@@ -1,0 +1,141 @@
+"""The four routing policies.
+
+* :class:`SinglePathPolicy` — today's behavior: the BFS-elected fixed
+  next hop, with the policy hook left detached so the forwarding fast
+  path is the exact pre-multipath code.  The default.
+* :class:`EcmpPolicy` — per-flow equal-cost multi-path: a seeded FNV-1a
+  hash of the 5-tuple pins every flow to one candidate for its lifetime
+  (no reordering, but hash collisions concentrate flows — the classic
+  failure mode the collision experiment measures).
+* :class:`FlowletPolicy` — ECMP per *flowlet*: when a flow goes idle
+  for longer than ``gap_ns``, the next burst may be re-hashed onto a
+  different path.  The gap defaults to a couple of fabric RTTs so the
+  in-flight tail of the previous burst lands before the new path's
+  first packet can overtake it (CONGA/LetFlow's safety argument).
+* :class:`SprayPolicy` — per-packet round-robin over the candidates:
+  perfect load balance, maximal reordering.  The stress case for the
+  transport's out-of-order reassembly and TFC's RM round accounting.
+
+All per-flow state is keyed by ``(switch_id, flow_key)`` so one policy
+instance serves every switch in the network without cross-talk.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..sim.units import microseconds
+from .base import RoutingPolicy, flow_hash
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..net.network import Network
+    from ..net.node import Switch
+    from ..net.packet import Packet
+
+
+class SinglePathPolicy(RoutingPolicy):
+    """Fixed BFS next hop — bit-identical to the pre-routing datapath."""
+
+    name = "single"
+
+    def install(self, network: "Network") -> None:
+        # Deliberately do NOT attach to switches: with ``switch.routing``
+        # left as None, Switch.forward takes the original single-path
+        # branch and the golden-determinism constants hold by
+        # construction, not by accident.
+        self.salt = network.seeds.spawn("routing").root_seed
+
+    def select(self, switch: "Switch", packet: "Packet") -> int:
+        return switch.forwarding_table[packet.dst]
+
+
+class EcmpPolicy(RoutingPolicy):
+    """Deterministic per-flow 5-tuple hash over the equal-cost set."""
+
+    name = "ecmp"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pinned: Dict[Tuple[int, int, int, int, int], int] = {}
+
+    def on_routes_rebuilt(self, network: "Network") -> None:
+        # Candidate sets changed; pinned ports may point at dead links.
+        self._pinned.clear()
+
+    def select(self, switch: "Switch", packet: "Packet") -> int:
+        candidates = switch.multipath_table[packet.dst]
+        if len(candidates) == 1:
+            return candidates[0]
+        key = (switch.node_id, *packet.flow_key)
+        port = self._pinned.get(key)
+        if port is None:
+            index = flow_hash(self.salt, *key) % len(candidates)
+            port = candidates[index]
+            self._pinned[key] = port
+        return port
+
+
+class FlowletPolicy(RoutingPolicy):
+    """Idle-gap flowlet switching (re-hash after ``gap_ns`` of silence)."""
+
+    name = "flowlet"
+
+    #: Default inter-flowlet gap: ~2 fabric RTTs on the 20 us-link
+    #: topologies (the same order as LetFlow's table timeouts).
+    DEFAULT_GAP_NS = microseconds(300)
+
+    def __init__(self, gap_ns: int = DEFAULT_GAP_NS) -> None:
+        super().__init__()
+        if gap_ns <= 0:
+            raise ValueError(f"flowlet gap must be positive, got {gap_ns}")
+        self.gap_ns = gap_ns
+        # (switch_id, *flow_key) -> [last_seen_ns, port, flowlet_seq]
+        self._flows: Dict[Tuple[int, int, int, int, int], List[int]] = {}
+
+    def on_routes_rebuilt(self, network: "Network") -> None:
+        self._flows.clear()
+
+    def select(self, switch: "Switch", packet: "Packet") -> int:
+        candidates = switch.multipath_table[packet.dst]
+        if len(candidates) == 1:
+            return candidates[0]
+        key = (switch.node_id, *packet.flow_key)
+        now = switch.sim.now
+        state = self._flows.get(key)
+        if state is not None and now - state[0] <= self.gap_ns:
+            state[0] = now
+            return state[1]
+        # New flowlet: the sequence number folds into the hash so
+        # successive flowlets of one flow can land on different paths.
+        seq = 0 if state is None else state[2] + 1
+        index = flow_hash(self.salt, *key, seq) % len(candidates)
+        port = candidates[index]
+        self._flows[key] = [now, port, seq]
+        return port
+
+
+class SprayPolicy(RoutingPolicy):
+    """Per-packet round-robin — the reordering stress case."""
+
+    name = "spray"
+
+    def __init__(self) -> None:
+        super().__init__()
+        # (switch_id, dst) -> next round-robin offset.  Keyed by
+        # destination, not flow: interleaving flows advance one shared
+        # counter, which is exactly how per-packet spraying behaves on
+        # hardware that round-robins the port group.
+        self._cursor: Dict[Tuple[int, int], int] = {}
+
+    def on_routes_rebuilt(self, network: "Network") -> None:
+        self._cursor.clear()
+
+    def select(self, switch: "Switch", packet: "Packet") -> int:
+        candidates = switch.multipath_table[packet.dst]
+        n = len(candidates)
+        if n == 1:
+            return candidates[0]
+        key = (switch.node_id, packet.dst)
+        offset = self._cursor.get(key, 0)
+        self._cursor[key] = offset + 1
+        return candidates[offset % n]

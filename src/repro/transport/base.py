@@ -441,6 +441,9 @@ class Receiver:
         self.awnd_bytes = awnd_bytes
         self.rcv_nxt = 0
         self.bytes_received = 0
+        #: Segments that arrived ahead of ``rcv_nxt`` (reordering gauge;
+        #: the spray routing policy drives this hard on purpose).
+        self.reordered_segments = 0
         self._out_of_order: List[Tuple[int, int]] = []  # sorted (seq, end)
         self.fin_seen = False
         host.register_connection(flow_key, self)
@@ -471,6 +474,7 @@ class Receiver:
             self._store_out_of_order(seq, end)
 
     def _store_out_of_order(self, seq: int, end: int) -> None:
+        self.reordered_segments += 1
         merged = []
         for lo, hi in self._out_of_order:
             if end < lo or seq > hi:

@@ -8,10 +8,12 @@ import pytest
 
 from repro.experiments import (
     run_benchmark,
+    run_collision,
     run_fig06,
     run_fig07,
     run_fig11,
     run_incast_point,
+    run_multipath_benchmark,
     run_rho_point,
     run_staggered_flows,
 )
@@ -124,6 +126,33 @@ def test_fig15_large_scale_point():
     assert point.rounds_completed == 2
     assert point.drops == 0
     assert point.max_timeouts_per_block == 0
+
+
+def test_ecmp_collision_tfc_fair_where_tcp_is_not():
+    """The multi-path acceptance shape: per-link tokens keep the shared
+    core uplink near-empty and split it fairly; end-to-end TCP shows
+    collision-induced queue build-up and goodput asymmetry."""
+    results = {
+        proto: run_collision(proto, routing="ecmp", duration_s=0.05)
+        for proto in ("tfc", "tcp")
+    }
+    tfc, tcp = results["tfc"], results["tcp"]
+    assert tfc.jain_fairness > 0.95
+    assert tcp.jain_fairness < 0.8
+    assert tfc.max_fabric_queue_bytes < 40_000
+    assert tfc.max_fabric_queue_bytes < tcp.max_fabric_queue_bytes
+    assert tfc.drops == 0
+
+
+def test_multipath_benchmark_smoke():
+    """Fig. 13's workload survives a fat tree under per-flow ECMP."""
+    result = run_multipath_benchmark(
+        "tfc", routing="ecmp", duration_s=0.15, drain_s=0.3,
+        query_rate_per_s=100, short_rate_per_s=20, background_rate_per_s=20,
+    )
+    assert result.completion_fraction() > 0.9
+    assert result.drops == 0
+    assert result.query_summary_us()["mean"] > 0
 
 
 def test_fig16_large_benchmark_smoke():

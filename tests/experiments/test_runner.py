@@ -53,6 +53,47 @@ def test_unknown_scheduler_rejected():
         run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7, scheduler="bogus")
 
 
+# Small multi-path cells: one collision run and one fat-tree benchmark
+# run, each under a policy that actually exercises the equal-cost picks.
+MULTIPATH_SPECS = [
+    CellSpec(
+        "ecmp",
+        {"protocol": "tfc", "routing": "ecmp", "n_flows": 4, "duration_s": 0.02},
+    ),
+    CellSpec(
+        "mpath",
+        {"protocol": "tfc", "routing": "spray", "duration_s": 0.05, "drain_s": 0.05},
+    ),
+]
+
+
+def test_multipath_cells_serial_matches_parallel():
+    """Routing policies keep --jobs N bit-identical to a serial run."""
+    serial = run_cells(MULTIPATH_SPECS, jobs=1, root_seed=7)
+    parallel = run_cells(MULTIPATH_SPECS, jobs=2, root_seed=7)
+    assert serial == parallel
+    assert pickle.loads(pickle.dumps(serial)) == serial
+
+
+def test_routing_env_pins_policy_and_is_restored(monkeypatch):
+    """run_cells(routing=...) exports REPRO_ROUTING for the cells' own
+    topology builds and restores the environment afterwards."""
+    import os
+
+    monkeypatch.delenv("REPRO_ROUTING", raising=False)
+    # fig14 cells build their networks internally; pinning the policy
+    # through the env must not change single-bottleneck results.
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    pinned = run_cells(QUICK_SPECS, jobs=1, root_seed=7, routing="ecmp")
+    assert pinned == reference
+    assert "REPRO_ROUTING" not in os.environ
+
+
+def test_unknown_routing_rejected():
+    with pytest.raises(ValueError, match="unknown routing"):
+        run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7, routing="bogus")
+
+
 def test_profile_dir_writes_one_stats_file_per_cell(tmp_path):
     """--profile produces loadable pstats files and identical results."""
     import pstats

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.net.packet import Packet, MSS
-from repro.net.topology import dumbbell, leaf_spine, multi_bottleneck
+from repro.net.topology import dumbbell, fat_tree, leaf_spine, multi_bottleneck
 from repro.net.topology import testbed as build_testbed
 from repro.sim.units import GBPS
 
@@ -122,6 +122,88 @@ def test_leaf_spine_uplink_is_faster():
     assert up_port.rate_bps == 10 * GBPS
     host_port = topo.bottleneck("to_H1")
     assert host_port.rate_bps == GBPS
+
+
+def unique_cables(topo):
+    """One (low, high) node-id pair per cable; fails on duplicate wiring."""
+    pairs = []
+    for node in topo.network.nodes:
+        for port in node.ports:
+            a, b = node.node_id, port.peer_node.node_id
+            if a < b:
+                pairs.append((a, b))
+    assert len(pairs) == len(set(pairs)), "same node pair cabled twice"
+    return pairs
+
+
+@pytest.mark.parametrize("k", [4, 6])
+def test_fat_tree_structure(k):
+    """Al-Fares counts: k^3/4 hosts, 5k^2/4 switches, 3k^3/4 cables."""
+    topo = fat_tree(k=k)
+    half = k // 2
+    assert len(topo.hosts) == k**3 // 4
+    cores = [s for s in topo.switches if s.name.startswith("C")]
+    aggs = [s for s in topo.switches if s.name.startswith("A")]
+    edges = [s for s in topo.switches if s.name.startswith("E")]
+    assert len(cores) == half * half
+    assert len(aggs) == k * half
+    assert len(edges) == k * half
+    assert len(topo.switches) == 5 * k * k // 4
+    assert len(unique_cables(topo)) == 3 * k**3 // 4
+    assert all_pairs_reachable(topo)
+
+
+def test_fat_tree_equal_cost_sets():
+    topo = fat_tree(k=4)
+    by_name = {s.name: s for s in topo.switches}
+    edge0, agg0 = by_name["E0_0"], by_name["A0_0"]
+    local, remote = topo.hosts[0], topo.hosts[-1]
+    # Towards a remote pod: k/2 agg choices at the edge, then k/2 core
+    # choices at the agg — (k/2)^2 = 4 core paths in total.
+    assert len(edge0.multipath_table[remote.node_id]) == 2
+    assert len(agg0.multipath_table[remote.node_id]) == 2
+    # The elected BFS next hop always leads the candidate tuple.
+    assert (
+        edge0.multipath_table[remote.node_id][0]
+        == edge0.forwarding_table[remote.node_id]
+    )
+    # A host on this edge switch has exactly one way down.
+    assert len(edge0.multipath_table[local.node_id]) == 1
+    # ports_towards mirrors the table as Port objects, same order.
+    ports = edge0.ports_towards(remote.node_id)
+    assert [p.index for p in ports] == list(
+        edge0.multipath_table[remote.node_id]
+    )
+    assert {p.peer_node.name for p in ports} == {"A0_0", "A0_1"}
+
+
+def test_fat_tree_validates_k():
+    for bad in (0, 3, -2):
+        with pytest.raises(ValueError):
+            fat_tree(k=bad)
+
+
+def test_leaf_spine_multi_spine_equal_cost():
+    topo = leaf_spine(n_leaves=2, hosts_per_leaf=2, spines=3)
+    assert len(topo.switches) == 5  # 3 spines + 2 leaves
+    leaf0 = topo.switches[3]
+    local, remote = topo.hosts[0], topo.hosts[2]
+    candidates = leaf0.multipath_table[remote.node_id]
+    assert len(candidates) == 3
+    assert {leaf0.ports[i].peer_node.name for i in candidates} == {
+        "SPINE0",
+        "SPINE1",
+        "SPINE2",
+    }
+    assert candidates[0] == leaf0.forwarding_table[remote.node_id]
+    # Hosts on this leaf are single-homed.
+    assert len(leaf0.multipath_table[local.node_id]) == 1
+    assert all_pairs_reachable(topo)
+
+
+def test_leaf_spine_validates_spines():
+    with pytest.raises(ValueError):
+        leaf_spine(spines=0)
 
 
 def test_custom_buffer_applies_to_switch_ports():

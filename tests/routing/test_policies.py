@@ -1,0 +1,191 @@
+"""Per-policy selection semantics, on a synthetic switch.
+
+The policies only ever touch ``switch.node_id``, ``switch.sim.now``,
+the routing tables and the packet header, so a stub switch exercises
+every branch without building a network; the golden-determinism suite
+covers the policies on real fabrics.
+"""
+
+import pytest
+
+from repro.net.packet import Packet
+from repro.routing import (
+    EcmpPolicy,
+    FlowletPolicy,
+    SinglePathPolicy,
+    SprayPolicy,
+    flow_hash,
+)
+
+DST = 99
+
+
+class FakeSim:
+    def __init__(self):
+        self.now = 0
+
+
+class FakeSwitch:
+    def __init__(self, node_id=7, candidates=(0, 1, 2, 3)):
+        self.node_id = node_id
+        self.multipath_table = {DST: tuple(candidates)}
+        self.forwarding_table = {DST: candidates[0]}
+        self.sim = FakeSim()
+
+
+def pkt(sport, dport=5000, src=1):
+    return Packet(src, DST, sport, dport, payload=1000)
+
+
+# ----------------------------------------------------------------------
+# flow_hash
+# ----------------------------------------------------------------------
+def test_flow_hash_pinned_values():
+    """FNV-1a over the fields — pinned so the path mapping never drifts
+    (a silent change would invalidate every recorded ECMP experiment)."""
+    assert flow_hash(0, 1, 2, 3, 4, 5) == 0xF66DCBF4F6B7D88
+    assert flow_hash(0xDEADBEEF, 1, 2, 3, 4, 5) == 0x7F7F688AFECCF991
+
+
+def test_flow_hash_sensitivity():
+    base = flow_hash(0, 1, 2, 3, 4)
+    assert flow_hash(0, 1, 2, 3, 4) == base
+    assert flow_hash(1, 1, 2, 3, 4) != base  # salt matters
+    assert flow_hash(0, 1, 2, 3, 5) != base  # every field matters
+    assert 0 <= base < 2**64
+
+
+# ----------------------------------------------------------------------
+# single
+# ----------------------------------------------------------------------
+def test_single_returns_elected_port():
+    switch = FakeSwitch(candidates=(3, 0, 1))
+    assert SinglePathPolicy().select(switch, pkt(1)) == 3
+
+
+# ----------------------------------------------------------------------
+# ecmp
+# ----------------------------------------------------------------------
+def test_ecmp_pins_flow_for_its_lifetime():
+    policy = EcmpPolicy()
+    policy.salt = 42
+    switch = FakeSwitch()
+    first = policy.select(switch, pkt(1))
+    assert first in switch.multipath_table[DST]
+    for _ in range(20):
+        assert policy.select(switch, pkt(1)) == first
+
+
+def test_ecmp_matches_documented_hash():
+    policy = EcmpPolicy()
+    policy.salt = 42
+    switch = FakeSwitch()
+    packet = pkt(1)
+    key = (switch.node_id, *packet.flow_key)
+    candidates = switch.multipath_table[DST]
+    expected = candidates[flow_hash(42, *key) % len(candidates)]
+    assert policy.select(switch, packet) == expected
+
+
+def test_ecmp_spreads_distinct_flows():
+    policy = EcmpPolicy()
+    policy.salt = 42
+    switch = FakeSwitch()
+    picks = {policy.select(switch, pkt(sport)) for sport in range(64)}
+    assert len(picks) > 1  # 64 flows over 4 ports must not all collide
+
+
+def test_ecmp_rebuild_clears_stale_pins():
+    policy = EcmpPolicy()
+    policy.salt = 0
+    switch = FakeSwitch(candidates=(0, 1, 2, 3))
+    policy.select(switch, pkt(1))
+    # A link died: the candidate set shrank.  Stale pins must go.
+    switch.multipath_table[DST] = (2,)
+    policy.on_routes_rebuilt(None)
+    assert policy.select(switch, pkt(1)) == 2
+
+
+def test_ecmp_single_candidate_short_circuits():
+    policy = EcmpPolicy()
+    switch = FakeSwitch(candidates=(5,))
+    assert policy.select(switch, pkt(1)) == 5
+    assert not policy._pinned  # no state burned on degenerate sets
+
+
+# ----------------------------------------------------------------------
+# flowlet
+# ----------------------------------------------------------------------
+def test_flowlet_sticks_within_gap_and_rehashes_after():
+    policy = FlowletPolicy(gap_ns=100)
+    policy.salt = 7
+    switch = FakeSwitch()
+    packet = pkt(1)
+    key = (switch.node_id, *packet.flow_key)
+    candidates = switch.multipath_table[DST]
+
+    def expected(seq):
+        return candidates[flow_hash(7, *key, seq) % len(candidates)]
+
+    first = policy.select(switch, packet)
+    assert first == expected(0)
+    # Inside the gap (measured from the *last* packet): same flowlet.
+    switch.sim.now = 90
+    assert policy.select(switch, packet) == first
+    switch.sim.now = 180  # 90 ns since last seen — still inside
+    assert policy.select(switch, packet) == first
+    # Silence longer than the gap starts flowlet #1, re-hashed.
+    switch.sim.now = 400
+    assert policy.select(switch, packet) == expected(1)
+
+
+def test_flowlet_flows_do_not_share_state():
+    policy = FlowletPolicy(gap_ns=100)
+    policy.salt = 7
+    switch = FakeSwitch()
+    a = policy.select(switch, pkt(1))
+    policy.select(switch, pkt(2))
+    assert policy.select(switch, pkt(1)) == a
+
+
+def test_flowlet_validates_gap():
+    for bad in (0, -5):
+        with pytest.raises(ValueError, match="gap"):
+            FlowletPolicy(gap_ns=bad)
+
+
+def test_flowlet_rebuild_forgets_flowlets():
+    policy = FlowletPolicy(gap_ns=100)
+    switch = FakeSwitch(candidates=(0, 1))
+    policy.select(switch, pkt(1))
+    switch.multipath_table[DST] = (1,)
+    policy.on_routes_rebuilt(None)
+    assert policy.select(switch, pkt(1)) == 1
+
+
+# ----------------------------------------------------------------------
+# spray
+# ----------------------------------------------------------------------
+def test_spray_round_robins_the_candidates():
+    policy = SprayPolicy()
+    switch = FakeSwitch(candidates=(2, 5, 9))
+    picks = [policy.select(switch, pkt(1)) for _ in range(7)]
+    assert picks == [2, 5, 9, 2, 5, 9, 2]
+
+
+def test_spray_cursor_is_shared_per_destination():
+    """Interleaved flows advance one shared per-(switch, dst) cursor —
+    the hardware port-group behaviour the docstring promises."""
+    policy = SprayPolicy()
+    switch = FakeSwitch(candidates=(0, 1, 2))
+    assert policy.select(switch, pkt(1)) == 0
+    assert policy.select(switch, pkt(2)) == 1  # different flow, same dst
+    assert policy.select(switch, pkt(1)) == 2
+
+
+def test_spray_rebuild_resets_cursor():
+    policy = SprayPolicy()
+    switch = FakeSwitch(candidates=(0, 1))
+    policy.select(switch, pkt(1))
+    policy.on_routes_rebuilt(None)
+    assert policy.select(switch, pkt(1)) == 0

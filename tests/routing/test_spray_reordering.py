@@ -1,0 +1,42 @@
+"""Per-packet spraying vs TFC's round accounting.
+
+Spray is the adversarial policy: consecutive packets of one flow take
+different core paths, so segments overtake each other and the receiver
+must reassemble.  TFC's RM round accounting counts tokens per *link*,
+not per path, so the claim under test is that out-of-order delivery
+degrades goodput but never wedges a round, leaks a hole in reassembly,
+or overflows a queue.
+"""
+
+from repro.experiments.common import build_topology
+from repro.net.topology import fat_tree
+from repro.sim.units import seconds
+from repro.transport.registry import open_flow
+
+
+def test_tfc_round_accounting_survives_spray_reordering():
+    topo = build_topology(
+        fat_tree, "tfc", buffer_bytes=256_000, k=4, seed=2, routing="spray"
+    )
+    senders = [
+        open_flow(topo.hosts[i], topo.hosts[8 + i], "tfc") for i in range(4)
+    ]
+    topo.network.run_for(seconds(0.05))
+
+    receivers = [s.receiver for s in senders]
+    # The stress is real: segments did arrive ahead of rcv_nxt.
+    assert sum(r.reordered_segments for r in receivers) > 0
+    for r in receivers:
+        # Every flow makes solid progress (tokens keep flowing even
+        # though each packet saw a different path)...
+        assert r.bytes_received > 1_000_000
+        # ...and reassembly is airtight: all delivered bytes are
+        # contiguous and no out-of-order fragment is stranded.
+        assert r.rcv_nxt == r.bytes_received
+        assert r._out_of_order == []
+    # Per-link token control holds: no queue ever overflowed, and the
+    # RM/window machinery kept electing and updating throughout.
+    net = topo.network
+    assert net.total_drops() == 0
+    assert net.tracer.counters["tfc.window_update"] > 100
+    assert net.tracer.counters["tfc.delimiter_elected"] >= 1

@@ -25,7 +25,7 @@ import pytest
 
 from repro.experiments.common import build_topology
 from repro.metrics.fct import FctCollector
-from repro.net.topology import dumbbell
+from repro.net.topology import dumbbell, fat_tree
 from repro.net.topology import testbed as build_testbed
 from repro.sim.units import seconds
 from repro.transport.registry import open_flow
@@ -152,3 +152,61 @@ def test_golden_dumbbell_every_scheduler_backend(monkeypatch, backend):
         2_887_880,
     ]
     assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+
+
+@pytest.mark.parametrize("policy", ["single", "ecmp", "flowlet", "spray"])
+def test_golden_dumbbell_every_routing_policy(monkeypatch, policy):
+    """The golden dumbbell constants hold bit-identically under every
+    routing policy (selected via ``REPRO_ROUTING``, as the CI shard
+    does): with a single equal-cost candidate everywhere, each policy
+    must degenerate to the elected next hop."""
+    monkeypatch.setenv("REPRO_ROUTING", policy)
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    net = topo.network
+    assert net.routing.name == policy
+    # The default policy stays detached from the datapath entirely.
+    if policy == "single":
+        assert all(switch.routing is None for switch in topo.switches)
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    net.run_for(seconds(0.1))
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+
+
+@pytest.mark.parametrize("policy", ["ecmp", "flowlet", "spray"])
+def test_fat_tree_policies_self_identical(policy):
+    """Two same-seed runs of a genuinely multi-path fabric make the same
+    path choices: every policy draws only on the network seed (the
+    determinism contract ``--jobs`` relies on)."""
+
+    def run():
+        topo = build_topology(
+            fat_tree,
+            "tfc",
+            buffer_bytes=256_000,
+            k=4,
+            seed=3,
+            routing=policy,
+        )
+        senders = [
+            open_flow(topo.hosts[i], topo.hosts[8 + i], "tfc")
+            for i in range(4)
+        ]
+        topo.network.run_for(seconds(0.03))
+        return (
+            topo.network.sim.events_processed,
+            [s.stats.bytes_acked for s in senders],
+            _digest(_port_state(topo.network)),
+        )
+
+    assert run() == run()
