@@ -6,8 +6,11 @@ The package bundles a packet-level discrete-event network simulator
 (:mod:`repro.transport`), the TFC protocol itself (:mod:`repro.core`),
 workload generators (:mod:`repro.workloads`), measurement utilities
 (:mod:`repro.metrics`), deterministic fault injection with runtime
-invariant monitoring (:mod:`repro.faults`) and one driver per paper
-figure plus chaos scenarios (:mod:`repro.experiments`).
+invariant monitoring (:mod:`repro.faults`), one driver per paper
+figure plus chaos scenarios (:mod:`repro.experiments`), a unified
+run configuration (:mod:`repro.config`) and the telemetry subsystem
+(:mod:`repro.obs` — metric registry, per-slot timelines, flight
+recorder).
 
 Quickstart::
 
@@ -19,6 +22,15 @@ Quickstart::
     configure_network(topo.network, "tfc")
     flows = [open_flow(h, topo.hosts[-1], "tfc") for h in topo.hosts[:4]]
     topo.network.run_for(seconds(1))
+
+Observability quickstart::
+
+    from repro.config import SimConfig
+    from repro.net import Network
+
+    net = Network(config=SimConfig(seed=1, telemetry="full"))
+    ...  # build topology, open flows, run
+    net.telemetry.export("out/", "my_run")
 """
 
 __version__ = "1.0.0"

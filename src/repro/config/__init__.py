@@ -1,0 +1,57 @@
+"""repro.config — one coherent configuration surface.
+
+Two pieces:
+
+* :class:`SimConfig` — a frozen dataclass carrying scheduler, routing,
+  transport, telemetry and seed selection, accepted by
+  ``Simulator(config=...)``, ``Network(config=...)`` and the experiment
+  runner (``run_cells(config=...)``).
+* :func:`env` — the single validated context manager behind every
+  ``REPRO_*`` environment knob (scheduler backend, routing policy,
+  telemetry mode and directory).  The historical per-subsystem helpers
+  (``repro.sim.sched.scheduler_env``, ``repro.routing.routing_env``) are
+  thin deprecation shims over it.
+
+Name registries are re-exported here so callers can enumerate every
+selection surface from one import::
+
+    from repro.config import SCHEDULER_NAMES, ROUTING_NAMES, TELEMETRY_MODES
+"""
+
+from ..obs.session import TELEMETRY_MODES
+from ..routing import ROUTING_NAMES
+from ..sim.sched import SCHEDULER_NAMES
+from .envvars import (
+    KNOBS,
+    ROUTING_ENV_VAR,
+    SCHEDULER_ENV_VAR,
+    TELEMETRY_DIR_ENV_VAR,
+    TELEMETRY_ENV_VAR,
+    EnvKnob,
+    current,
+    env,
+    routing_name,
+    scheduler_name,
+    telemetry_dir,
+    telemetry_mode,
+)
+from .simconfig import SimConfig
+
+__all__ = [
+    "SimConfig",
+    "env",
+    "current",
+    "EnvKnob",
+    "KNOBS",
+    "scheduler_name",
+    "routing_name",
+    "telemetry_mode",
+    "telemetry_dir",
+    "SCHEDULER_NAMES",
+    "ROUTING_NAMES",
+    "TELEMETRY_MODES",
+    "SCHEDULER_ENV_VAR",
+    "ROUTING_ENV_VAR",
+    "TELEMETRY_ENV_VAR",
+    "TELEMETRY_DIR_ENV_VAR",
+]

@@ -16,8 +16,9 @@ derive from the single scenario seed.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
+from ..config import telemetry_dir as _configured_telemetry_dir
 from ..faults import (
     FaultInjector,
     FaultRecord,
@@ -28,6 +29,8 @@ from ..faults import (
 )
 from ..metrics.samplers import RateSampler, Series
 from ..net.topology import dumbbell
+from ..obs import drain_pending as _drain_telemetry
+from ..obs import install as _install_telemetry
 from ..sim.units import microseconds, milliseconds
 from ..transport.registry import open_flow
 from .common import build_topology, format_table
@@ -55,6 +58,7 @@ class ChaosResult:
     records: List[FaultRecord] = field(default_factory=list)
     goodput_series: Series = field(default_factory=list)
     invariant_checks: int = 0
+    telemetry_paths: List[str] = field(default_factory=list)
 
     @property
     def clean(self) -> bool:
@@ -116,12 +120,19 @@ def run_chaos(
     sample_interval_ns: int = microseconds(500),
     buffer_bytes: int = 256_000,
     raise_on_violation: bool = False,
+    telemetry_dir: Optional[str] = None,
 ) -> ChaosResult:
     """Run one fault scenario on a TFC dumbbell and measure recovery.
 
     ``n_flows`` long-lived flows warm up for ``warmup_ns``, the fault
     fires, and the run continues for ``tail_ns`` past the fault window.
     Aggregate goodput across all receivers is the recovery signal.
+
+    ``telemetry_dir`` records full telemetry (metrics + slot timelines +
+    flight recorder, with invariant counters, the goodput timeline and
+    the recovery report folded into the registry) and exports it there
+    labelled ``chaos_{fault}_{seed}``; ``$REPRO_TELEMETRY`` attaches the
+    same machinery through :func:`~repro.experiments.common.build_topology`.
     """
     topo = build_topology(
         dumbbell,
@@ -131,6 +142,10 @@ def run_chaos(
         seed=seed,
     )
     net = topo.network
+    if telemetry_dir is not None and net.telemetry is None:
+        _install_telemetry(net, "full", dump_dir=telemetry_dir)
+    session = net.telemetry
+    registry = session.registry if session is not None else None
     receiver_host = topo.host(n_flows)  # first (only) receiver
     senders = [
         open_flow(topo.host(i), receiver_host, "tfc") for i in range(n_flows)
@@ -142,7 +157,9 @@ def run_chaos(
         sample_interval_ns,
         label="aggregate",
     )
-    monitor = InvariantMonitor(net, raise_on_violation=raise_on_violation)
+    monitor = InvariantMonitor(
+        net, raise_on_violation=raise_on_violation, registry=registry
+    )
     injector = FaultInjector(net)
     settle_ns = _inject(fault, injector, topo, senders, warmup_ns, fault_ns)
 
@@ -169,6 +186,17 @@ def run_chaos(
         settle_ns=settle_ns,
         post_fault_timeouts=post_fault_timeouts,
     )
+    telemetry_paths: List[str] = []
+    if session is not None:
+        sampler.register(registry, "chaos.goodput_bps")
+        report.register(registry)
+        session.detach()
+        _drain_telemetry()  # this run's session is exported right here
+        export_dir = telemetry_dir or _configured_telemetry_dir()
+        if export_dir:
+            telemetry_paths = session.export(
+                export_dir, f"chaos_{fault}_{seed}"
+            )
     return ChaosResult(
         fault=fault,
         seed=seed,
@@ -177,6 +205,7 @@ def run_chaos(
         records=list(injector.records),
         goodput_series=sampler.series,
         invariant_checks=monitor.checks_run,
+        telemetry_paths=telemetry_paths,
     )
 
 
@@ -185,9 +214,24 @@ def run_all(seed: int = 1, **kwargs) -> List[ChaosResult]:
     return [run_chaos(fault, seed=seed, **kwargs) for fault in FAULT_KINDS]
 
 
-def main() -> None:
+def main(argv=None) -> None:
     """CLI entry: run every fault and print the recovery table."""
-    results = run_all()
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.chaos",
+        description="Run the chaos fault catalogue on a TFC dumbbell.",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="scenario seed")
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="export full telemetry (metrics/slots/flight) per fault into DIR",
+    )
+    args = parser.parse_args(argv)
+
+    results = run_all(seed=args.seed, telemetry_dir=args.telemetry)
     rows = []
     for result in results:
         report = result.report

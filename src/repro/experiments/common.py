@@ -15,6 +15,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..core.params import DEFAULT_PARAMS, TfcParams
 from ..net.topology import Topology
+from ..obs import maybe_install as maybe_install_telemetry
 from ..transport.registry import configure_network, queue_factory_for
 
 PROTOCOL_LABELS = {"tfc": "TFC", "dctcp": "DCTCP", "tcp": "TCP"}
@@ -67,6 +68,10 @@ def build_topology(
     configure_network(
         topo.network, protocol, tfc_params or DEFAULT_PARAMS
     )
+    # Env-selected telemetry ($REPRO_TELEMETRY / runner --telemetry)
+    # attaches here — the one chokepoint every experiment cell, chaos
+    # scenario and perf workload builds through.  One dict lookup when off.
+    maybe_install_telemetry(topo.network)
     return topo
 
 

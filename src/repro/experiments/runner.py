@@ -32,8 +32,9 @@ import traceback
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..routing import ROUTING_NAMES, routing_env
-from ..sim.sched import SCHEDULER_NAMES, scheduler_env
+from ..config import ROUTING_NAMES, SCHEDULER_NAMES, SimConfig
+from ..config import telemetry_dir as _configured_telemetry_dir
+from ..obs import drain_pending as _drain_telemetry
 from .common import ALL_PROTOCOLS, ExperimentResult, derive_cell_seed, format_table
 from .ecmp_collision import run_collision_cell
 from .fig06_rttb import run_fig06_cell
@@ -113,13 +114,34 @@ def _execute_cell(spec: CellSpec) -> ExperimentResult:
             f"known: {', '.join(sorted(FIGURE_CELLS))}"
         )
     try:
-        return fn(**spec.kwargs)
+        result = fn(**spec.kwargs)
     except RunnerError:
         raise
     except BaseException as exc:
         raise RunnerError(
             f"cell {spec.label} failed: {exc!r}\n{traceback.format_exc()}"
         ) from None
+    _export_cell_telemetry(spec)
+    return result
+
+
+def _export_cell_telemetry(spec: CellSpec) -> None:
+    """Export any telemetry sessions the cell installed.
+
+    Runs *after* the cell completes (in the worker, for pool runs), so
+    exporting can never perturb the simulation.  Sessions are drained
+    unconditionally — even with no export directory configured — so
+    finished networks are not kept pinned between cells.
+    """
+    sessions = _drain_telemetry()
+    directory = _configured_telemetry_dir()
+    if not directory or not sessions:
+        return
+    base = _safe_label(spec)
+    for index, session in enumerate(sessions):
+        label = base if len(sessions) == 1 else f"{base}_{index}"
+        for path in session.export(directory, label):
+            print(f"telemetry written to {path}", file=sys.stderr)
 
 
 def run_cells(
@@ -129,6 +151,9 @@ def run_cells(
     scheduler: Optional[str] = None,
     routing: Optional[str] = None,
     profile_dir: Optional[str] = None,
+    telemetry: Optional[str] = None,
+    telemetry_dir: Optional[str] = None,
+    config: Optional[SimConfig] = None,
 ) -> List[ExperimentResult]:
     """Run every cell and return results in the order specs were given.
 
@@ -137,17 +162,29 @@ def run_cells(
     process pool; a pool that cannot even start degrades to the serial
     path, but a cell that *fails* always surfaces as :class:`RunnerError`.
 
-    ``scheduler`` pins the simulator backend and ``routing`` the routing
-    policy for every cell (exported as ``REPRO_SCHEDULER`` /
-    ``REPRO_ROUTING``, which pool workers inherit; a cell that takes an
-    explicit ``routing`` kwarg — the multi-path figures — wins over the
-    env default).  ``profile_dir`` writes one cProfile stats file per
-    cell into the directory; profiled runs are forced onto the serial
-    path — a worker process would profile the pool plumbing, not the
+    Selection: pass one :class:`~repro.config.SimConfig` as ``config``,
+    or the individual knobs (``scheduler``, ``routing``, ``telemetry``,
+    ``telemetry_dir``), which are folded into one.  The config is pinned
+    process-wide for the batch (exported as the ``REPRO_*`` variables,
+    which pool workers inherit; a cell that takes an explicit ``routing``
+    kwarg — the multi-path figures — wins over the env default).
+    ``telemetry_dir`` makes every cell export its telemetry files there
+    (mode defaults to ``full``); ``profile_dir`` writes one cProfile
+    stats file per cell — profiled runs are forced onto the serial path,
+    since a worker process would profile the pool plumbing, not the
     simulation.
     """
-    resolved = [spec.resolved(root_seed) for spec in specs]
-    with scheduler_env(scheduler), routing_env(routing):
+    if config is None:
+        config = SimConfig(
+            seed=root_seed,
+            scheduler=scheduler,
+            routing=routing,
+            telemetry=telemetry
+            or ("full" if telemetry_dir is not None else None),
+            telemetry_dir=telemetry_dir,
+        )
+    resolved = [spec.resolved(config.seed) for spec in specs]
+    with config.env():
         if profile_dir is not None:
             return _run_profiled(resolved, profile_dir)
         if jobs > 1 and len(resolved) > 1:
@@ -391,6 +428,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="write per-cell cProfile stats into DIR (forces serial "
         "execution; pstats-compatible files, one per cell)",
     )
+    parser.add_argument(
+        "--telemetry",
+        metavar="DIR",
+        default=None,
+        help="record full telemetry for every cell and export the "
+        "metrics/slot-timeline/flight files into DIR",
+    )
     args = parser.parse_args(argv)
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
@@ -406,6 +450,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"with jobs={jobs}"
         + (f" scheduler={args.scheduler}" if args.scheduler else "")
         + (f" routing={args.routing}" if args.routing else "")
+        + (f" telemetry={args.telemetry}" if args.telemetry else "")
     )
     start = time.perf_counter()
     results = run_cells(
@@ -415,6 +460,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         scheduler=args.scheduler,
         routing=args.routing,
         profile_dir=args.profile,
+        telemetry_dir=args.telemetry,
     )
     elapsed = time.perf_counter() - start
 

@@ -88,6 +88,7 @@ class InvariantMonitor:
         raise_on_violation: bool = True,
         sweep_interval_ns: int = microseconds(50),
         tolerance: float = 0.25,
+        registry=None,
     ):
         self.network = network
         self.sim = network.sim
@@ -97,6 +98,18 @@ class InvariantMonitor:
         self.sweep_interval_ns = sweep_interval_ns
         self.violations: List[Violation] = []
         self.checks_run = 0
+        # Optional repro.obs.MetricRegistry mirror of the two monitor
+        # counters, so telemetry exports carry them without the chaos
+        # driver copying fields by hand.
+        self._checks_counter = None
+        self._violations_counter = None
+        if registry is not None:
+            self._checks_counter = registry.counter(
+                "invariant.checks", help="invariant checks run"
+            )
+            self._violations_counter = registry.counter(
+                "invariant.violations", help="invariant violations observed"
+            )
         self._attached = False
         self._stopped = False
         self._wrapped_agents: List["TfcPortAgent"] = []
@@ -170,14 +183,21 @@ class InvariantMonitor:
             context=context,
         )
         self.violations.append(violation)
+        if self._violations_counter is not None:
+            self._violations_counter.inc()
         self.tracer.emit(INVARIANT_VIOLATION, violation=violation)
         if self.raise_on_violation:
             raise InvariantViolation(violation)
 
+    def _count_check(self) -> None:
+        self.checks_run += 1
+        if self._checks_counter is not None:
+            self._checks_counter.inc()
+
     def _on_window_update(self, agent: "TfcPortAgent" = None, **_kw) -> None:
         if agent is None or agent not in self.agents:
             return
-        self.checks_run += 1
+        self._count_check()
         self._check_agent(agent)
 
     def _check_agent(self, agent: "TfcPortAgent") -> None:
@@ -251,7 +271,7 @@ class InvariantMonitor:
                     )
         for agent in self.agents:
             self._check_arbiter(agent, self._locate(agent))
-        self.checks_run += 1
+        self._count_check()
         self.sim.schedule(self.sweep_interval_ns, self._sweep)
 
     # ------------------------------------------------------------------

@@ -58,6 +58,22 @@ class RecoveryReport:
             f"{self.post_fault_timeouts} post-fault timeouts"
         )
 
+    def register(self, registry, prefix: str = "recovery") -> None:
+        """Mirror the report into a :class:`repro.obs.MetricRegistry`.
+
+        Gauges under ``{prefix}.`` plus one counter for the timeouts; a
+        never-reconverged run records ``{prefix}.reconverge_ns = -1`` so
+        the export stays numeric.
+        """
+        registry.gauge(f"{prefix}.baseline_bps").set(self.baseline)
+        registry.gauge(f"{prefix}.dip_depth").set(self.dip_depth)
+        registry.gauge(f"{prefix}.reconverge_ns").set(
+            -1.0 if self.reconverge_ns is None else float(self.reconverge_ns)
+        )
+        registry.counter(f"{prefix}.post_fault_timeouts").set_total(
+            self.post_fault_timeouts
+        )
+
 
 def measure_recovery(
     series: Series,

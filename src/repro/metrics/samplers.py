@@ -38,6 +38,15 @@ class PeriodicSampler:
         """Stop sampling (the pending event is skipped when it fires)."""
         self._stopped = True
 
+    def register(self, registry, name: str) -> None:
+        """Expose this sampler's series as a registry timeline.
+
+        Zero-copy: the :class:`~repro.obs.Timeline` adopts the live series
+        list, so samples recorded before *and* after registration all show
+        up in the registry's export.
+        """
+        registry.timeline(name).adopt(self.series)
+
     def _tick(self) -> None:
         if self._stopped:
             return

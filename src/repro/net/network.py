@@ -18,7 +18,7 @@ are administratively down — the fault engine's reroute hook.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, Union
 
 from ..routing import RoutingPolicy, resolve_routing
 from ..sim.engine import Simulator
@@ -28,6 +28,9 @@ from .host import Host
 from .node import Node, Switch
 from .port import Link, Port
 from .queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..config import SimConfig
 
 QueueFactory = Callable[[int], DropTailQueue]
 
@@ -44,19 +47,31 @@ class Network:
 
     def __init__(
         self,
-        seed: int = 0,
+        seed: Optional[int] = None,
         default_buffer_bytes: int = 256_000,
         host_buffer_bytes: int = 4_000_000,
         host_processing_delay_ns: int = 2_000,
         host_processing_jitter_ns: int = 4_000,
         routing: Optional[Union[str, RoutingPolicy]] = None,
+        config: Optional["SimConfig"] = None,
     ):
-        self.sim = Simulator()
+        # ``config`` (a repro.config.SimConfig) supplies seed, routing,
+        # scheduler and telemetry defaults; explicit arguments win.
+        if config is not None:
+            if seed is None:
+                seed = config.seed
+            if routing is None:
+                routing = config.routing
+        self.sim = Simulator(config=config)
         self.tracer = Tracer()
-        self.seeds = SeedSequence(seed)
+        self.seeds = SeedSequence(seed if seed is not None else 0)
         # Policy name, instance, or None (= $REPRO_ROUTING, then "single").
         self.routing = resolve_routing(routing)
         self.route_rebuilds = 0
+        # Telemetry session handle (repro.obs.Telemetry) or None; an
+        # explicit config installs one here, env-driven installs land via
+        # repro.obs.maybe_install at the topology-build chokepoints.
+        self.telemetry = None
         self.default_buffer_bytes = default_buffer_bytes
         self.host_buffer_bytes = host_buffer_bytes
         self.host_processing_delay_ns = host_processing_delay_ns
@@ -65,6 +80,12 @@ class Network:
         self.hosts: List[Host] = []
         self.switches: List[Switch] = []
         self._adjacency: Dict[int, List[Tuple[int, int]]] = {}
+        if config is not None and config.telemetry and config.telemetry != "off":
+            from ..obs import install as _install_telemetry
+
+            _install_telemetry(
+                self, config.telemetry, dump_dir=config.telemetry_dir
+            )
 
     # ------------------------------------------------------------------
     # Construction

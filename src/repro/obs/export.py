@@ -1,0 +1,53 @@
+"""Structured exporters: registry -> JSONL, slot timelines -> CSV.
+
+Output is deliberately boring: newline-delimited JSON with sorted keys
+and fixed-column CSV, both in deterministic row order and free of
+wall-clock timestamps — two identical runs produce byte-identical files
+(the telemetry determinism tests diff them directly).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import os
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .registry import MetricRegistry
+    from .slots import SlotTimelineRecorder
+
+from .slots import SLOT_FIELDS
+
+
+def _ensure_parent(path: str) -> None:
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+
+
+def write_metrics_jsonl(registry: "MetricRegistry", path: str) -> str:
+    """One JSON object per instrument, sorted by metric name."""
+    _ensure_parent(path)
+    with open(path, "w") as fh:
+        for row in registry.rows():
+            fh.write(json.dumps(row, sort_keys=True))
+            fh.write("\n")
+    return path
+
+
+def write_slots_csv(recorder: "SlotTimelineRecorder", path: str) -> str:
+    """All agents' slot timelines as one flat CSV.
+
+    Columns: ``agent`` plus :data:`~repro.obs.slots.SLOT_FIELDS`.  Rows
+    are grouped by agent label (sorted) and ordered by slot within each
+    agent — deterministic for a deterministic run.
+    """
+    _ensure_parent(path)
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(("agent",) + SLOT_FIELDS)
+        for label in recorder.labels():
+            for row in recorder.timelines[label]:
+                writer.writerow((label,) + row)
+    return path

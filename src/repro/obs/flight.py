@@ -1,0 +1,155 @@
+"""Flight recorder: a bounded ring of recent trace records.
+
+Chaos and soak runs fail rarely and late; by the time an invariant fires,
+the events that explain it are long gone.  The :class:`FlightRecorder`
+keeps the last ``capacity`` records from a set of low-frequency trace
+topics (drops, ECN marks, timeouts, delimiter elections, faults) in a
+ring buffer, and snapshots the ring automatically the moment the
+invariant monitor emits ``fault.invariant_violation`` — so every
+violation report comes with the packet-level story leading up to it.
+
+Like the slot recorder, capture is purely reactive: no simulator events,
+no RNG, no trace emissions of its own — attaching it cannot change a
+run's outcome.  Per-packet topics (``net.packet_enqueue``) are *not* in
+the default set: subscribing would move the hottest emission sites from
+``bump`` to ``emit`` for marginal forensic value.  Pass ``topics=`` to
+opt in where that trade is worth it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Sequence, Tuple
+
+from ..sim import trace as _trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..net.network import Network
+
+#: Topics recorded by default: everything rare enough to be free.
+DEFAULT_TOPICS: Tuple[str, ...] = (
+    _trace.PACKET_DROP,
+    _trace.PACKET_ECN_MARK,
+    _trace.RETRANSMIT_TIMEOUT,
+    _trace.FAST_RETRANSMIT,
+    _trace.FLOW_COMPLETE,
+    _trace.TFC_DELIMITER_ELECTED,
+    _trace.TFC_ACK_DELAYED,
+    _trace.FAULT_INJECTED,
+    _trace.FAULT_CLEARED,
+    _trace.INVARIANT_VIOLATION,
+)
+
+_MAX_SUMMARY_CHARS = 200
+
+FlightRecord = Dict[str, object]
+
+
+def _summarise(value: object) -> object:
+    """JSON-safe, bounded rendering of one trace payload value."""
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    text = repr(value)
+    if len(text) > _MAX_SUMMARY_CHARS:
+        text = text[: _MAX_SUMMARY_CHARS - 3] + "..."
+    return text
+
+
+class FlightRecorder:
+    """Bounded ring buffer of recent trace records with violation dumps."""
+
+    def __init__(
+        self,
+        network: "Network",
+        capacity: int = 2048,
+        topics: Sequence[str] = DEFAULT_TOPICS,
+        dump_dir: Optional[str] = None,
+    ):
+        if capacity <= 0:
+            raise ValueError("flight recorder capacity must be positive")
+        self.network = network
+        self.sim = network.sim
+        self.tracer = network.tracer
+        self.capacity = capacity
+        self.topics = tuple(topics)
+        self.dump_dir = dump_dir
+        self.ring: Deque[FlightRecord] = deque(maxlen=capacity)
+        self.records_seen = 0
+        self.dumps: List[List[FlightRecord]] = []
+        self._handlers: Dict[str, object] = {}
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        for topic in self.topics:
+            handler = self._make_handler(topic)
+            self._handlers[topic] = handler
+            self.tracer.subscribe(topic, handler)
+
+    def detach(self) -> None:
+        """Unsubscribe from every topic (ring contents are kept)."""
+        if not self._attached:
+            return
+        self._attached = False
+        for topic, handler in self._handlers.items():
+            self.tracer.unsubscribe(topic, handler)
+        self._handlers.clear()
+
+    def _make_handler(self, topic: str):
+        auto_dump = topic == _trace.INVARIANT_VIOLATION
+
+        def handler(*args, **kwargs) -> None:
+            record: FlightRecord = {"time_ns": self.sim.now, "topic": topic}
+            if args:
+                record["args"] = [_summarise(a) for a in args]
+            for key, value in kwargs.items():
+                record[key] = _summarise(value)
+            self.ring.append(record)
+            self.records_seen += 1
+            if auto_dump:
+                self._auto_dump()
+
+        return handler
+
+    # ------------------------------------------------------------------
+    # Dumping
+    # ------------------------------------------------------------------
+    def snapshot(self) -> List[FlightRecord]:
+        """The ring's current contents, oldest first."""
+        return list(self.ring)
+
+    def _auto_dump(self) -> None:
+        snapshot = self.snapshot()
+        self.dumps.append(snapshot)
+        if self.dump_dir:
+            path = os.path.join(
+                self.dump_dir, f"flight_{len(self.dumps) - 1:03d}.jsonl"
+            )
+            self.write(path, snapshot)
+
+    def write(
+        self, path: str, records: Optional[List[FlightRecord]] = None
+    ) -> str:
+        """Write records (default: the live ring) as JSONL; returns path."""
+        if records is None:
+            records = self.snapshot()
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        with open(path, "w") as fh:
+            for record in records:
+                fh.write(json.dumps(record, sort_keys=True))
+                fh.write("\n")
+        return path
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FlightRecorder ring={len(self.ring)}/{self.capacity}"
+            f" seen={self.records_seen} dumps={len(self.dumps)}>"
+        )

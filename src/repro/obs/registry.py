@@ -1,0 +1,241 @@
+"""Typed metric registry: the one place instrumented values live.
+
+Four instrument kinds cover everything the repo measures:
+
+* :class:`Counter` — monotonically increasing integer (drops, timeouts,
+  trace-topic emissions).
+* :class:`Gauge` — a point-in-time value that can move both ways (queue
+  depth, token value, events/sec).
+* :class:`Histogram` — fixed-boundary bucket counts plus sum/count (FCT
+  distributions, slot lengths).
+* :class:`Timeline` — an append-only ``(time_ns, value)`` series, the
+  shape every paper figure consumes.  A timeline can *adopt* an existing
+  list (e.g. a :class:`~repro.metrics.samplers.PeriodicSampler` series)
+  so migrating legacy instrumentation onto the registry shares storage
+  instead of copying it.
+
+A :class:`MetricRegistry` is a flat namespace of dotted metric names.
+Re-requesting a name returns the same instrument; re-requesting it as a
+different kind raises, so one subsystem cannot silently clobber
+another's semantics.  ``rows()`` serialises every instrument to plain
+dicts in sorted-name order — deterministic output for the JSONL/CSV
+exporters and the golden bit-identity tests.
+
+Nothing here touches the simulator: instruments are passive containers,
+so recording into them can never perturb event order or RNG draws.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram boundaries (ns-scale friendly powers of four).
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(4.0**i for i in range(2, 16))
+
+
+class Metric:
+    """Base: a named, typed instrument."""
+
+    kind = "metric"
+    __slots__ = ("name", "help")
+
+    def __init__(self, name: str, help: str = ""):
+        self.name = name
+        self.help = help
+
+    def as_row(self) -> Dict[str, object]:
+        """Serialise to a plain dict (stable keys, JSON-friendly values)."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class Counter(Metric):
+    """Monotonically increasing integer count."""
+
+    kind = "counter"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def set_total(self, total: int) -> None:
+        """Overwrite with an externally tracked running total (snapshot use)."""
+        self.value = total
+
+    def as_row(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Gauge(Metric):
+    """A point-in-time value."""
+
+    kind = "gauge"
+    __slots__ = ("value",)
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def as_row(self) -> Dict[str, object]:
+        return {"name": self.name, "kind": self.kind, "value": self.value}
+
+
+class Histogram(Metric):
+    """Fixed-boundary bucket counts plus sum and count."""
+
+    kind = "histogram"
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ):
+        super().__init__(name, help)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError(f"histogram {self.name!r} needs >= 1 bucket bound")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last bucket: +inf overflow
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def quantile(self, q: float) -> float:
+        """Upper bucket bound covering quantile ``q`` (0 when empty)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        for i, bound in enumerate(self.buckets):
+            cumulative += self.counts[i]
+            if cumulative >= target:
+                return bound
+        return self.buckets[-1]
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "sum": self.sum,
+            "count": self.count,
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+        }
+
+
+class Timeline(Metric):
+    """Append-only ``(time_ns, value)`` series."""
+
+    kind = "timeline"
+    __slots__ = ("series",)
+
+    def __init__(self, name: str, help: str = ""):
+        super().__init__(name, help)
+        self.series: List[Tuple[int, float]] = []
+
+    def append(self, time_ns: int, value: float) -> None:
+        self.series.append((time_ns, value))
+
+    def adopt(self, series: List[Tuple[int, float]]) -> None:
+        """Share an existing series list (zero-copy legacy migration).
+
+        Points already in ``series`` and every later append through either
+        holder are visible to both — the registry exports whatever the
+        original instrumentation recorded.
+        """
+        self.series = series
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "points": len(self.series),
+            "series": [[t, v] for t, v in self.series],
+        }
+
+
+class MetricRegistry:
+    """A flat, typed namespace of instruments.
+
+    Get-or-create semantics: requesting an existing name returns the
+    existing instrument; requesting it as a different kind raises
+    ``TypeError`` so two subsystems cannot fight over one name.
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls:
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.kind}, requested as {cls.kind}"
+                )
+            return existing
+        metric = cls(name, help, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(Counter, name, help)
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(Gauge, name, help)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, buckets=buckets)
+
+    def timeline(self, name: str, help: str = "") -> Timeline:
+        return self._get_or_create(Timeline, name, help)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Every instrument serialised, in sorted-name order."""
+        return [self._metrics[name].as_row() for name in self.names()]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricRegistry metrics={len(self._metrics)}>"

@@ -1,0 +1,121 @@
+"""Per-switch-agent slot timelines — the paper's core time series.
+
+Every TFC claim that matters is a per-slot trajectory: token value ``T``
+and effective flows ``E`` (Fig. 7), queue evolution (Fig. 8), utilisation
+``rho`` against its target (Fig. 14), and the ``rtt_b`` / ``rtt_m``
+separation (Fig. 6).  The :class:`SlotTimelineRecorder` captures all of
+them at once, for every agent, by subscribing to the ``tfc.window_update``
+trace topic the agents already emit at each slot boundary.
+
+Capture is purely reactive: the recorder schedules no simulator events,
+draws no randomness, and emits no trace topics of its own, so a run with
+the recorder attached is bit-identical to one without it (pinned by the
+golden-determinism suite).  The only cost is the tracer taking the
+subscribed ``emit`` path instead of the counter-only ``bump`` at each
+slot boundary — a per-slot, not per-packet, price.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from ..sim.trace import TFC_WINDOW_UPDATE
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..core.switch_agent import TfcPortAgent
+    from ..net.network import Network
+
+#: Column names for one slot record, in row order.
+SLOT_FIELDS = (
+    "time_ns",
+    "slot",
+    "tokens",
+    "effective_flows",
+    "rho",
+    "rtt_m_ns",
+    "rtt_b_ns",
+    "window",
+    "queue_bytes",
+)
+
+SlotRow = Tuple[int, int, float, int, float, int, int, float, int]
+
+
+def agent_label(agent: "TfcPortAgent") -> str:
+    """Stable human-readable agent identity (matches the invariant
+    monitor's location strings): ``node[port]->peer``."""
+    port = agent.port
+    return f"{port.node.name}[{port.index}]->{port.peer_node.name}"
+
+
+class SlotTimelineRecorder:
+    """Record ``(T, E, rho, rtt_m, rtt_b, W, queue_bytes)`` per slot.
+
+    One row is appended per ``tfc.window_update`` emission, i.e. per
+    control-slot boundary per agent, keyed by the agent's stable label.
+    """
+
+    def __init__(self, network: "Network"):
+        self.network = network
+        self.sim = network.sim
+        self.tracer = network.tracer
+        self.timelines: Dict[str, List[SlotRow]] = {}
+        self._labels: Dict[int, str] = {}  # id(agent) -> cached label
+        self._attached = False
+        self.attach()
+
+    # ------------------------------------------------------------------
+    def attach(self) -> None:
+        if self._attached:
+            return
+        self._attached = True
+        self.tracer.subscribe(TFC_WINDOW_UPDATE, self._on_window_update)
+
+    def detach(self) -> None:
+        """Stop recording (recorded timelines are kept)."""
+        if not self._attached:
+            return
+        self._attached = False
+        self.tracer.unsubscribe(TFC_WINDOW_UPDATE, self._on_window_update)
+
+    # ------------------------------------------------------------------
+    def _on_window_update(self, agent: "TfcPortAgent" = None, **_kw) -> None:
+        if agent is None:
+            return
+        label = self._labels.get(id(agent))
+        if label is None:
+            label = agent_label(agent)
+            self._labels[id(agent)] = label
+            self.timelines.setdefault(label, [])
+        self.timelines[label].append(
+            (
+                self.sim.now,
+                agent.slot_index,
+                agent.tokens,
+                agent.published_e,
+                agent.last_rho,
+                agent.rttm_ns,
+                agent.rttb_ns,
+                agent.window,
+                agent.port.queue.byte_length,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_rows(self) -> int:
+        return sum(len(rows) for rows in self.timelines.values())
+
+    def labels(self) -> List[str]:
+        return sorted(self.timelines)
+
+    def series(self, label: str, field: str) -> List[Tuple[int, float]]:
+        """One agent's ``(time_ns, value)`` series for a named field."""
+        index = SLOT_FIELDS.index(field)
+        return [(row[0], row[index]) for row in self.timelines[label]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SlotTimelineRecorder agents={len(self.timelines)}"
+            f" rows={self.total_rows}>"
+        )

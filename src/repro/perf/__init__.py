@@ -12,8 +12,10 @@ from .workloads import (
     KERNEL_WORKLOADS,
     ExperimentWorkload,
     KernelWorkload,
+    TelemetryWorkload,
     run_experiment_workload,
     run_kernel_workload,
+    run_telemetry_workload,
 )
 
 __all__ = [
@@ -21,6 +23,8 @@ __all__ = [
     "KERNEL_WORKLOADS",
     "ExperimentWorkload",
     "KernelWorkload",
+    "TelemetryWorkload",
     "run_experiment_workload",
     "run_kernel_workload",
+    "run_telemetry_workload",
 ]

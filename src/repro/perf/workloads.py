@@ -32,10 +32,10 @@ import time
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple, Union
 
+from ..config import env as config_env
 from ..experiments.common import build_topology
 from ..net.topology import dumbbell, fat_tree
 from ..sim.engine import Simulator
-from ..sim.sched import scheduler_env
 from ..sim.units import seconds
 from ..transport.registry import open_flow
 
@@ -98,6 +98,26 @@ class FabricWorkload:
 
 
 @dataclass(frozen=True)
+class TelemetryWorkload:
+    """A kernel dumbbell run with a telemetry session attached.
+
+    Same shape as :class:`KernelWorkload` plus a telemetry mode; the row
+    it produces is the pinned cost of the observability machinery (slot
+    recorder + flight recorder subscriptions on the tracer's dispatch
+    path).  Compared against its telemetry-off twin it bounds the
+    telemetry-on overhead; its *absence* from the hot path is gated by
+    the twin staying flat against the committed baseline.
+    """
+
+    name: str
+    protocol: str
+    n_senders: int
+    seed: int
+    duration_s: float
+    telemetry: str = "full"
+
+
+@dataclass(frozen=True)
 class ExperimentWorkload:
     """One Fig. 13 testbed benchmark cell (workload generator + FCT)."""
 
@@ -108,7 +128,9 @@ class ExperimentWorkload:
     seed: int
 
 
-AnyKernelWorkload = Union[KernelWorkload, TimerChurnWorkload, FabricWorkload]
+AnyKernelWorkload = Union[
+    KernelWorkload, TimerChurnWorkload, FabricWorkload, TelemetryWorkload
+]
 
 KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     KernelWorkload("dumbbell_tfc_4", "tfc", 4, 1, 0.4),
@@ -117,6 +139,7 @@ KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     TimerChurnWorkload("timer_churn_16k", 16384, 0.0012),
     TimerChurnWorkload("timer_churn_32k", 32768, 0.0006),
     FabricWorkload("fattree4_tfc_spray_8", "tfc", "spray", 4, 8, 4, 0.05),
+    TelemetryWorkload("dumbbell_tfc_4_telemetry", "tfc", 4, 1, 0.4),
 )
 
 EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
@@ -144,7 +167,9 @@ def run_kernel_workload(
         return run_churn_workload(workload, duration_scale, scheduler)
     if isinstance(workload, FabricWorkload):
         return run_fabric_workload(workload, duration_scale, scheduler)
-    with scheduler_env(scheduler):
+    if isinstance(workload, TelemetryWorkload):
+        return run_telemetry_workload(workload, duration_scale, scheduler)
+    with config_env(scheduler=scheduler):
         topo = build_topology(
             dumbbell,
             workload.protocol,
@@ -164,6 +189,42 @@ def run_kernel_workload(
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+
+
+def run_telemetry_workload(
+    workload: TelemetryWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
+) -> Dict[str, float]:
+    """Run one telemetry-on dumbbell workload on the given backend."""
+    from ..obs import drain_pending
+
+    with config_env(scheduler=scheduler, telemetry=workload.telemetry):
+        topo = build_topology(
+            dumbbell,
+            workload.protocol,
+            buffer_bytes=256_000,
+            n_senders=workload.n_senders,
+            seed=workload.seed,
+        )
+        receiver = topo.host(workload.n_senders)
+        for i in range(workload.n_senders):
+            open_flow(topo.host(i), receiver, workload.protocol)
+        start = time.perf_counter()
+        topo.network.run_for(seconds(workload.duration_s * duration_scale))
+        wall = time.perf_counter() - start
+    drain_pending()  # nothing exports; keep the pending queue clean
+    events = topo.sim.events_processed
+    return {
+        "name": _row_name(workload.name, scheduler),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
+        "protocol": workload.protocol,
+        "telemetry": workload.telemetry,
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
@@ -226,7 +287,7 @@ def run_fabric_workload(
     scheduler: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one fat-tree multi-path workload on the given backend."""
-    with scheduler_env(scheduler):
+    with config_env(scheduler=scheduler):
         topo = build_topology(
             fat_tree,
             workload.protocol,
@@ -266,7 +327,7 @@ def run_experiment_workload(
     """Run one Fig. 13 cell; returns wall-clock seconds for the cell."""
     from ..experiments.fig13_benchmark import run_benchmark
 
-    with scheduler_env(scheduler):
+    with config_env(scheduler=scheduler):
         start = time.perf_counter()
         result = run_benchmark(
             workload.protocol,

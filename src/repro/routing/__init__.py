@@ -23,8 +23,7 @@ Policies, all bit-deterministic under a fixed network seed:
 from __future__ import annotations
 
 import os
-from contextlib import contextmanager
-from typing import Iterator, Optional, Union
+from typing import Optional, Union
 
 from .base import RoutingPolicy, flow_hash
 from .policies import EcmpPolicy, FlowletPolicy, SinglePathPolicy, SprayPolicy
@@ -77,33 +76,17 @@ def resolve_routing(
     return make_routing(routing)
 
 
-@contextmanager
-def routing_env(name: Optional[str]) -> Iterator[None]:
-    """Pin ``REPRO_ROUTING`` while the block runs (None = no-op).
+def routing_env(name: Optional[str]):
+    """Deprecated shim: use :func:`repro.config.env` instead.
 
-    For code paths that build their own :class:`~repro.net.network.
-    Network` internally (topology builders, figure cells) and therefore
-    cannot take a ``routing=`` argument directly.  Restores the previous
-    value on exit; child worker processes started inside the block
-    inherit the pinned value.
+    Pins ``REPRO_ROUTING`` while the block runs (None = no-op), with
+    identical validation and restore semantics.  Kept so pre-config
+    callers keep working; new code should write
+    ``with repro.config.env(routing=name):``.
     """
-    if name is None:
-        yield
-        return
-    if name not in ROUTING_NAMES:
-        raise ValueError(
-            f"unknown routing policy {name!r}; "
-            f"choose from {', '.join(ROUTING_NAMES)}"
-        )
-    saved = os.environ.get(ROUTING_ENV_VAR)
-    os.environ[ROUTING_ENV_VAR] = name
-    try:
-        yield
-    finally:
-        if saved is None:
-            os.environ.pop(ROUTING_ENV_VAR, None)
-        else:
-            os.environ[ROUTING_ENV_VAR] = saved
+    from ..config import env  # deferred: repro.config imports this module
+
+    return env(routing=name)
 
 
 __all__ = [

@@ -172,8 +172,15 @@ class Simulator:
     )
 
     def __init__(
-        self, scheduler: Optional[Union[str, Scheduler]] = None
+        self,
+        scheduler: Optional[Union[str, Scheduler]] = None,
+        config: Optional[Any] = None,
     ) -> None:
+        # ``config`` is a repro.config.SimConfig (duck-typed here so the
+        # kernel stays free of upper-layer imports): its ``scheduler``
+        # field applies when no explicit ``scheduler=`` is given.
+        if scheduler is None and config is not None:
+            scheduler = config.scheduler
         self._now: int = 0
         self._seq: int = 0
         self._free: List[Event] = []

@@ -23,9 +23,7 @@ shards select a backend process-wide).
 
 from __future__ import annotations
 
-import os
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from typing import Optional
 
 from .base import Scheduler
 from .calendar import CalendarScheduler
@@ -55,33 +53,18 @@ def make_scheduler(name: str) -> Scheduler:
     return backend()
 
 
-@contextmanager
-def scheduler_env(name: Optional[str]) -> Iterator[None]:
-    """Pin ``REPRO_SCHEDULER`` while the block runs (None = no-op).
+def scheduler_env(name: Optional[str]):
+    """Deprecated shim: use :func:`repro.config.env` instead.
 
-    For code paths that build their own :class:`Simulator` internally
-    (topology builders, figure cells) and therefore cannot take a
-    ``scheduler=`` argument directly.  Restores the previous value on
-    exit.  Child worker processes forked/spawned inside the block
-    inherit the pinned value.
+    Pins ``REPRO_SCHEDULER`` while the block runs (None = no-op), with
+    identical validation and restore semantics — it *is* the shared
+    context manager, specialised to one knob.  Kept so pre-config
+    callers keep working; new code should write
+    ``with repro.config.env(scheduler=name):``.
     """
-    if name is None:
-        yield
-        return
-    if name not in SCHEDULER_NAMES:
-        raise ValueError(
-            f"unknown scheduler backend {name!r}; "
-            f"choose from {', '.join(SCHEDULER_NAMES)}"
-        )
-    saved = os.environ.get("REPRO_SCHEDULER")
-    os.environ["REPRO_SCHEDULER"] = name
-    try:
-        yield
-    finally:
-        if saved is None:
-            os.environ.pop("REPRO_SCHEDULER", None)
-        else:
-            os.environ["REPRO_SCHEDULER"] = saved
+    from ...config import env  # deferred: repro.config imports this module
+
+    return env(scheduler=name)
 
 
 __all__ = [

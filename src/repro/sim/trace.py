@@ -38,9 +38,20 @@ class Tracer:
         self._active.add(topic)
 
     def unsubscribe(self, topic: str, handler: TraceHandler) -> None:
-        """Remove a previously registered handler."""
-        self._handlers[topic].remove(handler)
-        if not self._handlers[topic]:
+        """Remove a previously registered handler.
+
+        Tolerant of unknown topics and already-removed handlers: teardown
+        paths (monitors detaching after a partial attach, recorders torn
+        down twice) must never raise mid-cleanup.
+        """
+        handlers = self._handlers.get(topic)
+        if handlers is None:
+            return
+        try:
+            handlers.remove(handler)
+        except ValueError:
+            return
+        if not handlers:
             self._active.discard(topic)
 
     def active(self, topic: str) -> bool:

@@ -151,6 +151,64 @@ def test_worker_crash_surfaces_with_cell_label():
         run_cells(specs, jobs=2)
 
 
+def test_telemetry_dir_exports_per_cell_files(tmp_path, monkeypatch):
+    """--telemetry DIR writes one metrics/slots/flight trio per cell and
+    leaves the results bit-identical to a telemetry-off run."""
+    import os
+
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    with_telemetry = run_cells(
+        QUICK_SPECS, jobs=1, root_seed=7, telemetry_dir=str(tmp_path)
+    )
+    assert with_telemetry == reference
+    metrics = sorted(tmp_path.glob("*.metrics.jsonl"))
+    assert len(metrics) == len(QUICK_SPECS)
+    assert len(list(tmp_path.glob("*.slots.csv"))) == len(QUICK_SPECS)
+    assert len(list(tmp_path.glob("*.flight.jsonl"))) == len(QUICK_SPECS)
+    # the env pins are restored afterwards
+    assert "REPRO_TELEMETRY" not in os.environ
+    assert "REPRO_TELEMETRY_DIR" not in os.environ
+
+
+def test_telemetry_mode_without_dir_records_quietly(tmp_path):
+    """telemetry="counters" without a directory attaches sessions but
+    writes nothing (and must not change results)."""
+    reference = run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7)
+    recorded = run_cells(
+        QUICK_SPECS[:1], jobs=1, root_seed=7, telemetry="counters"
+    )
+    assert recorded == reference
+    assert list(tmp_path.iterdir()) == []
+
+
+def test_telemetry_parallel_workers_export_too(tmp_path):
+    """Pool workers inherit REPRO_TELEMETRY* and export from inside the
+    worker process."""
+    results = run_cells(
+        QUICK_SPECS, jobs=2, root_seed=7, telemetry_dir=str(tmp_path)
+    )
+    assert results == run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    assert len(list(tmp_path.glob("*.metrics.jsonl"))) == len(QUICK_SPECS)
+
+
+def test_unknown_telemetry_rejected():
+    with pytest.raises(ValueError, match="unknown telemetry"):
+        run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7, telemetry="bogus")
+
+
+def test_run_cells_accepts_simconfig(tmp_path):
+    """A prebuilt SimConfig is honoured verbatim (seed included)."""
+    from repro.config import SimConfig
+
+    cfg = SimConfig(seed=7, scheduler="heap", telemetry="full",
+                    telemetry_dir=str(tmp_path))
+    results = run_cells(QUICK_SPECS, jobs=1, config=cfg)
+    assert results == run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    assert len(list(tmp_path.glob("*.metrics.jsonl"))) == len(QUICK_SPECS)
+
+
 def test_default_plan_covers_every_figure():
     figures = sorted(FIGURE_CELLS)
     specs = default_plan(figures, quick=True)

@@ -102,6 +102,26 @@ def test_detach_removes_all_hooks():
     assert monitor.violations == []
 
 
+def test_monitor_mirrors_counters_into_registry():
+    """With a registry attached, checks and violations surface as
+    ``invariant.*`` counters (the chaos driver's telemetry export path)."""
+    from repro.obs import MetricRegistry
+
+    registry = MetricRegistry()
+    topo, _ = tfc_scenario()
+    monitor = InvariantMonitor(
+        topo.network, raise_on_violation=False, registry=registry
+    )
+    topo.network.run_for(milliseconds(10))
+    assert registry.get("invariant.checks").value == monitor.checks_run
+    assert registry.get("invariant.violations").value == 0
+    agent = topo.bottleneck().agent
+    agent.effective_flows = -1
+    monitor._check_agent(agent)
+    assert registry.get("invariant.violations").value == len(monitor.violations)
+    assert registry.get("invariant.violations").value > 0
+
+
 def test_violation_report_is_readable():
     topo, _ = tfc_scenario()
     monitor = InvariantMonitor(topo.network, raise_on_violation=False)

@@ -1,0 +1,144 @@
+"""Slot-timeline and flight recorders against a real simulation."""
+
+import json
+
+import pytest
+
+from repro.experiments.common import build_topology
+from repro.net.topology import dumbbell
+from repro.obs import (
+    SLOT_FIELDS,
+    FlightRecorder,
+    SlotTimelineRecorder,
+    agent_label,
+)
+from repro.sim.trace import INVARIANT_VIOLATION, TFC_WINDOW_UPDATE
+from repro.sim.units import seconds
+from repro.transport.registry import open_flow
+
+
+@pytest.fixture(autouse=True)
+def _no_env_telemetry(monkeypatch):
+    # These tests attach recorders by hand; an env-installed session
+    # (e.g. the REPRO_TELEMETRY=full CI shard) would double-subscribe.
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.delenv("REPRO_TELEMETRY_DIR", raising=False)
+
+
+def _dumbbell(n=2, seed=1):
+    return build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=n, seed=seed
+    )
+
+
+def _run_flows(topo, n):
+    receiver = topo.host(n)
+    for i in range(n):
+        open_flow(topo.host(i), receiver, "tfc")
+    topo.network.run_for(seconds(0.05))
+
+
+# ----------------------------------------------------------------------
+# SlotTimelineRecorder
+# ----------------------------------------------------------------------
+def test_slot_recorder_one_row_per_window_update():
+    topo = _dumbbell()
+    recorder = SlotTimelineRecorder(topo.network)
+    _run_flows(topo, 2)
+    assert recorder.total_rows == topo.network.tracer.count(TFC_WINDOW_UPDATE)
+    assert recorder.total_rows > 0
+    # The congested bottleneck agent is present under its stable label.
+    bottleneck_agent = topo.bottleneck().agent
+    assert agent_label(bottleneck_agent) in recorder.labels()
+
+
+def test_slot_recorder_row_shape_and_series():
+    topo = _dumbbell()
+    recorder = SlotTimelineRecorder(topo.network)
+    _run_flows(topo, 2)
+    label = agent_label(topo.bottleneck().agent)
+    rows = recorder.timelines[label]
+    assert all(len(row) == len(SLOT_FIELDS) for row in rows)
+    # slot indexes advance monotonically, timestamps never go backwards
+    slots = [row[SLOT_FIELDS.index("slot")] for row in rows]
+    assert slots == sorted(slots)
+    tokens = recorder.series(label, "tokens")
+    assert len(tokens) == len(rows)
+    assert all(t >= 0 for t, _ in tokens)
+    with pytest.raises(ValueError):
+        recorder.series(label, "no_such_field")
+
+
+def test_slot_recorder_detach_stops_recording():
+    topo = _dumbbell()
+    recorder = SlotTimelineRecorder(topo.network)
+    recorder.detach()
+    recorder.detach()  # idempotent
+    _run_flows(topo, 2)
+    assert recorder.total_rows == 0
+    assert not topo.network.tracer.active(TFC_WINDOW_UPDATE)
+
+
+# ----------------------------------------------------------------------
+# FlightRecorder
+# ----------------------------------------------------------------------
+def test_flight_recorder_captures_low_frequency_topics():
+    topo = _dumbbell()
+    recorder = FlightRecorder(topo.network)
+    _run_flows(topo, 2)
+    topics = {record["topic"] for record in recorder.snapshot()}
+    assert "tfc.delimiter_elected" in topics
+    assert recorder.records_seen == len(recorder.ring)
+
+
+def test_flight_recorder_ring_is_bounded():
+    topo = _dumbbell()
+    recorder = FlightRecorder(topo.network, capacity=5)
+    tracer = topo.network.tracer
+    for i in range(20):
+        tracer.emit("transport.flow_complete", flow_id=i)
+    assert len(recorder.ring) == 5
+    assert recorder.records_seen == 20
+    assert [r["flow_id"] for r in recorder.snapshot()] == [15, 16, 17, 18, 19]
+    with pytest.raises(ValueError):
+        FlightRecorder(topo.network, capacity=0)
+
+
+def test_flight_recorder_auto_dumps_on_invariant_violation(tmp_path):
+    topo = _dumbbell()
+    recorder = FlightRecorder(topo.network, dump_dir=str(tmp_path))
+    tracer = topo.network.tracer
+    tracer.emit("net.packet_drop", reason="overflow")
+    tracer.emit(INVARIANT_VIOLATION, violation="token clamp escaped")
+    assert len(recorder.dumps) == 1
+    dump = recorder.dumps[0]
+    assert dump[-1]["topic"] == INVARIANT_VIOLATION
+    assert any(r["topic"] == "net.packet_drop" for r in dump)
+    path = tmp_path / "flight_000.jsonl"
+    assert path.exists()
+    records = [json.loads(line) for line in path.read_text().splitlines()]
+    assert records[-1]["violation"] == "token clamp escaped"
+
+
+def test_flight_recorder_summarises_complex_payloads():
+    topo = _dumbbell()
+    recorder = FlightRecorder(topo.network, topics=("t",))
+    topo.network.tracer.emit("t", obj=object(), big=list(range(500)), n=3)
+    record = recorder.snapshot()[0]
+    assert record["n"] == 3  # scalars pass through
+    assert isinstance(record["obj"], str)
+    assert isinstance(record["big"], str) and len(record["big"]) <= 200
+    # JSON-serialisable end to end
+    json.dumps(record)
+
+
+def test_flight_recorder_detach_unsubscribes_everything():
+    topo = _dumbbell()
+    recorder = FlightRecorder(topo.network)
+    tracer = topo.network.tracer
+    recorder.detach()
+    recorder.detach()  # idempotent
+    for topic in recorder.topics:
+        assert not tracer.active(topic)
+    tracer.emit("net.packet_drop")
+    assert len(recorder.ring) == 0

@@ -1,0 +1,90 @@
+"""Unit tests for the typed metric registry."""
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricRegistry,
+    Timeline,
+)
+
+
+def test_counter_increments_and_rejects_decrease():
+    c = Counter("drops")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError, match="cannot decrease"):
+        c.inc(-1)
+    c.set_total(42)
+    assert c.value == 42
+    assert c.as_row() == {"name": "drops", "kind": "counter", "value": 42}
+
+
+def test_gauge_moves_both_ways():
+    g = Gauge("queue_bytes")
+    g.set(10)
+    g.set(3.5)
+    assert g.value == 3.5
+    assert g.as_row()["kind"] == "gauge"
+
+
+def test_histogram_buckets_and_quantile():
+    h = Histogram("fct", buckets=(10, 100, 1000))
+    for v in (5, 50, 50, 500, 5000):
+        h.observe(v)
+    assert h.count == 5
+    assert h.sum == 5605.0
+    assert h.counts == [1, 2, 1, 1]  # last slot: +inf overflow
+    assert h.quantile(0.0) == 10  # first non-empty bucket bound
+    assert h.quantile(0.5) == 100
+    assert h.quantile(1.0) == 1000  # overflow clamps to last bound
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+    with pytest.raises(ValueError):
+        Histogram("empty", buckets=())
+
+
+def test_histogram_empty_quantile_is_zero():
+    assert Histogram("fct").quantile(0.99) == 0.0
+
+
+def test_timeline_append_and_adopt_share_storage():
+    t = Timeline("goodput")
+    t.append(0, 1.0)
+    legacy = [(0, 5.0)]
+    t.adopt(legacy)
+    legacy.append((10, 6.0))
+    t.append(20, 7.0)
+    assert t.series == [(0, 5.0), (10, 6.0), (20, 7.0)]
+    assert legacy is t.series
+    row = t.as_row()
+    assert row["points"] == 3
+    assert row["series"][0] == [0, 5.0]
+
+
+def test_registry_get_or_create_and_kind_conflict():
+    reg = MetricRegistry()
+    c1 = reg.counter("x", help="first")
+    c2 = reg.counter("x", help="ignored on re-request")
+    assert c1 is c2
+    with pytest.raises(TypeError, match="already registered as counter"):
+        reg.gauge("x")
+    reg.gauge("a")
+    reg.timeline("z")
+    reg.histogram("m")
+    assert reg.names() == ["a", "m", "x", "z"]
+    assert len(reg) == 4
+    assert [row["name"] for row in reg.rows()] == ["a", "m", "x", "z"]
+    assert reg.get("x") is c1
+    assert reg.get("missing") is None
+
+
+def test_registry_iterates_instruments():
+    reg = MetricRegistry()
+    reg.counter("a")
+    reg.gauge("b")
+    kinds = sorted(m.kind for m in reg)
+    assert kinds == ["counter", "gauge"]

@@ -127,6 +127,92 @@ def test_golden_fig13_benchmark_cell():
     assert _digest(_port_state(net)) == "3255488c8e6eca49"
 
 
+@pytest.mark.parametrize("mode", ["counters", "slots", "full"])
+def test_golden_dumbbell_telemetry_bit_identical(monkeypatch, mode):
+    """Attaching telemetry (any mode) changes *nothing*: the recorders
+    are purely trace-subscription-driven — no scheduled events, no RNG
+    draws, no emissions of their own — so every golden constant holds
+    with telemetry on, and the slot recorder sees exactly one row per
+    ``tfc.window_update`` emission."""
+    from repro.obs import drain_pending
+
+    monkeypatch.setenv("REPRO_TELEMETRY", mode)
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    session = topo.network.telemetry
+    assert session is not None and session.mode == mode
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    topo.network.run_for(seconds(0.1))
+    net = topo.network
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.delimiter_elected": 1,
+        "tfc.window_update": 731,
+    }
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+    if mode in ("slots", "full"):
+        assert session.slots.total_rows == 731
+    if mode == "full":
+        assert any(
+            r["topic"] == "tfc.delimiter_elected"
+            for r in session.flight.snapshot()
+        )
+    drain_pending()
+
+
+def test_golden_fig13_with_full_telemetry(monkeypatch):
+    """The stochastic-workload golden cell is bit-identical with the full
+    telemetry stack attached."""
+    from repro.obs import drain_pending
+
+    monkeypatch.setenv("REPRO_TELEMETRY", "full")
+    topo = build_topology(build_testbed, "tfc", buffer_bytes=256_000, seed=0)
+    session = topo.network.telemetry
+    assert session is not None
+    collector = FctCollector()
+    workload = BenchmarkWorkload(
+        topo.hosts,
+        "tfc",
+        duration_ns=seconds(0.25),
+        query_rate_per_s=200.0,
+        query_fanin=6,
+        short_rate_per_s=30.0,
+        background_rate_per_s=30.0,
+        min_rto_ns=200_000_000,
+        seed_name="benchmark:testbed:0",
+        collector=collector,
+    )
+    topo.network.run_for(seconds(0.5))
+    net = topo.network
+
+    assert net.sim.events_processed == 57510
+    assert workload.flows_launched == 373
+    assert collector.completed() == 373
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.ack_delayed": 37,
+        "tfc.delimiter_elected": 338,
+        "tfc.window_update": 1014,
+        "transport.flow_complete": 373,
+    }
+    records = sorted(
+        (r.category, r.size_bytes, r.fct_ns, r.timeouts)
+        for r in collector.records
+    )
+    assert _digest([list(r) for r in records]) == "143d85e14736aa91"
+    assert _digest(_port_state(net)) == "3255488c8e6eca49"
+    assert session.slots.total_rows == 1014
+    drain_pending()
+
+
 @pytest.mark.parametrize(
     "backend", ["heap", "calendar", "wheel", "adaptive"]
 )

@@ -73,6 +73,33 @@ def test_unsubscribe():
     assert got == []
 
 
+def test_unsubscribe_tolerates_unknown_topic_and_handler():
+    """Teardown paths must never raise: unknown topics, never-subscribed
+    handlers, and double-unsubscribes are all silent no-ops."""
+    tracer = Tracer()
+    handler = lambda: None  # noqa: E731
+    tracer.unsubscribe("never-seen", handler)  # unknown topic
+    tracer.subscribe("t", handler)
+    tracer.unsubscribe("t", lambda: None)  # wrong handler: stays subscribed
+    assert tracer.active("t")
+    tracer.unsubscribe("t", handler)
+    assert not tracer.active("t")
+    tracer.unsubscribe("t", handler)  # double-unsubscribe
+    assert not tracer.active("t")
+
+
+def test_unsubscribe_keeps_topic_active_for_remaining_handlers():
+    tracer = Tracer()
+    got = []
+    first, second = got.append, lambda v: got.append(-v)
+    tracer.subscribe("t", first)
+    tracer.subscribe("t", second)
+    tracer.unsubscribe("t", first)
+    assert tracer.active("t")
+    tracer.emit("t", 1)
+    assert got == [-1]
+
+
 def test_multiple_handlers_all_called():
     tracer = Tracer()
     got = []

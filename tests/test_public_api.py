@@ -22,11 +22,13 @@ def test_quickstart_from_package_docstring():
 
 def test_top_level_namespaces():
     from repro import (
+        config,
         core,
         experiments,
         faults,
         metrics,
         net,
+        obs,
         sim,
         transport,
         workloads,
@@ -42,6 +44,87 @@ def test_top_level_namespaces():
     assert experiments.run_fig12
     assert experiments.run_chaos
     assert faults.FaultInjector and faults.InvariantMonitor
+    assert config.SimConfig and config.env
+    assert obs.MetricRegistry and obs.Telemetry
+
+
+def test_config_namespace_is_the_selection_surface():
+    """Every run-level selection knob is reachable from repro.config."""
+    from repro.config import (
+        KNOBS,
+        ROUTING_NAMES,
+        SCHEDULER_NAMES,
+        TELEMETRY_MODES,
+        SimConfig,
+        env,
+        routing_name,
+        scheduler_name,
+        telemetry_dir,
+        telemetry_mode,
+    )
+
+    assert set(SCHEDULER_NAMES) >= {"heap", "calendar", "wheel", "adaptive"}
+    assert set(ROUTING_NAMES) >= {"single", "ecmp", "flowlet", "spray"}
+    assert TELEMETRY_MODES == ("off", "counters", "slots", "full")
+    assert set(KNOBS) == {"scheduler", "routing", "telemetry", "telemetry_dir"}
+    assert callable(env) and callable(scheduler_name)
+    assert callable(routing_name) and callable(telemetry_mode)
+    assert callable(telemetry_dir)
+    assert SimConfig().seed == 0
+
+
+def test_obs_namespace_surface():
+    from repro.obs import (
+        SLOT_FIELDS,
+        TELEMETRY_MODES,
+        Counter,
+        FlightRecorder,
+        Gauge,
+        Histogram,
+        MetricRegistry,
+        SlotTimelineRecorder,
+        Telemetry,
+        Timeline,
+        drain_pending,
+        install,
+        maybe_install,
+        write_metrics_jsonl,
+        write_slots_csv,
+    )
+
+    assert SLOT_FIELDS[0] == "time_ns" and "tokens" in SLOT_FIELDS
+    assert TELEMETRY_MODES[0] == "off"
+    registry = MetricRegistry()
+    assert registry.counter("c") is registry.counter("c")
+    assert Counter and Gauge and Histogram and Timeline
+    assert Telemetry and SlotTimelineRecorder and FlightRecorder
+    assert callable(install) and callable(maybe_install)
+    assert callable(drain_pending)
+    assert callable(write_metrics_jsonl) and callable(write_slots_csv)
+
+
+def test_observability_quickstart_from_package_docstring(tmp_path):
+    """The observability snippet in repro.__doc__ must run."""
+    from repro.config import SimConfig
+    from repro.net import Network
+    from repro.obs import drain_pending
+    from repro.sim.units import seconds
+    from repro.transport import configure_network, open_flow
+
+    net = Network(config=SimConfig(seed=1, telemetry="full"))
+    senders = [net.add_host(f"s{i}") for i in range(2)]
+    receiver = net.add_host("r")
+    switch = net.add_switch("sw")
+    for host in senders + [receiver]:
+        net.cable(host, switch, 10_000_000_000, 1_000)
+    net.build_routes()
+    configure_network(net, "tfc")
+    for host in senders:
+        open_flow(host, receiver, "tfc")
+    net.run_for(seconds(0.02))
+    paths = net.telemetry.export(str(tmp_path), "my_run")
+    assert len(paths) == 3
+    drain_pending()
 
 
 def test_protocol_registry_contents():
