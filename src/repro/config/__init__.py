@@ -23,6 +23,8 @@ from ..routing import ROUTING_NAMES
 from ..sim.sched import SCHEDULER_NAMES
 from .envvars import (
     KNOBS,
+    LOSSLESS_ENV_VAR,
+    LOSSLESS_MODES,
     ROUTING_ENV_VAR,
     SCHEDULER_ENV_VAR,
     TELEMETRY_DIR_ENV_VAR,
@@ -30,6 +32,7 @@ from .envvars import (
     EnvKnob,
     current,
     env,
+    lossless_mode,
     routing_name,
     scheduler_name,
     telemetry_dir,
@@ -47,11 +50,14 @@ __all__ = [
     "routing_name",
     "telemetry_mode",
     "telemetry_dir",
+    "lossless_mode",
     "SCHEDULER_NAMES",
     "ROUTING_NAMES",
     "TELEMETRY_MODES",
+    "LOSSLESS_MODES",
     "SCHEDULER_ENV_VAR",
     "ROUTING_ENV_VAR",
     "TELEMETRY_ENV_VAR",
     "TELEMETRY_DIR_ENV_VAR",
+    "LOSSLESS_ENV_VAR",
 ]

@@ -30,6 +30,12 @@ SCHEDULER_ENV_VAR = "REPRO_SCHEDULER"
 ROUTING_ENV_VAR = "REPRO_ROUTING"
 TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
 TELEMETRY_DIR_ENV_VAR = "REPRO_TELEMETRY_DIR"
+LOSSLESS_ENV_VAR = "REPRO_LOSSLESS"
+
+# Defined here rather than imported from repro.net.pfc: the config layer
+# must stay importable without pulling in the datapath (and net imports
+# nothing from config).  Kept in sync by a test in tests/config.
+LOSSLESS_MODES: Tuple[str, ...] = ("off", "pfc")
 
 
 @dataclass(frozen=True)
@@ -63,6 +69,9 @@ KNOBS: Dict[str, EnvKnob] = {
     ),
     "telemetry_dir": EnvKnob(
         TELEMETRY_DIR_ENV_VAR, "", None, "telemetry directory"
+    ),
+    "lossless": EnvKnob(
+        LOSSLESS_ENV_VAR, "off", LOSSLESS_MODES, "lossless fabric mode"
     ),
 }
 
@@ -100,6 +109,11 @@ def telemetry_dir() -> Optional[str]:
     return current("telemetry_dir") or None
 
 
+def lossless_mode() -> str:
+    """Effective lossless-fabric mode (``off`` when unset)."""
+    return current("lossless")
+
+
 class _EnvContext:
     """Pin a set of (var, value) pairs; restore previous values on exit."""
 
@@ -129,6 +143,7 @@ def env(
     routing: Optional[str] = None,
     telemetry: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
+    lossless: Optional[str] = None,
 ) -> _EnvContext:
     """Pin any subset of the ``REPRO_*`` knobs while a block runs.
 
@@ -143,6 +158,7 @@ def env(
         "routing": routing,
         "telemetry": telemetry,
         "telemetry_dir": telemetry_dir,
+        "lossless": lossless,
     }
     pins: Dict[str, str] = {}
     for knob, value in requested.items():

@@ -41,9 +41,10 @@ class SimConfig:
     transport: Optional[str] = None
     telemetry: Optional[str] = None
     telemetry_dir: Optional[str] = None
+    lossless: Optional[str] = None
 
     def __post_init__(self) -> None:
-        for knob in ("scheduler", "routing", "telemetry"):
+        for knob in ("scheduler", "routing", "telemetry", "lossless"):
             value = getattr(self, knob)
             if value is not None:
                 KNOBS[knob].validate(value)
@@ -63,6 +64,7 @@ class SimConfig:
             transport=transport,
             telemetry=current("telemetry"),
             telemetry_dir=current("telemetry_dir") or None,
+            lossless=current("lossless"),
         )
 
     def with_overrides(self, **changes) -> "SimConfig":
@@ -81,6 +83,7 @@ class SimConfig:
             routing=self.routing,
             telemetry=self.telemetry,
             telemetry_dir=self.telemetry_dir,
+            lossless=self.lossless,
         )
 
     @property

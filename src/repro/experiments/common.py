@@ -18,7 +18,12 @@ from ..net.topology import Topology
 from ..obs import maybe_install as maybe_install_telemetry
 from ..transport.registry import configure_network, queue_factory_for
 
-PROTOCOL_LABELS = {"tfc": "TFC", "dctcp": "DCTCP", "tcp": "TCP"}
+PROTOCOL_LABELS = {
+    "tfc": "TFC",
+    "dctcp": "DCTCP",
+    "tcp": "TCP",
+    "pfc": "TCP+PFC",
+}
 ALL_PROTOCOLS = ("tfc", "dctcp", "tcp")
 
 
@@ -55,9 +60,17 @@ def build_topology(
     buffer_bytes: int,
     tfc_params: Optional[TfcParams] = None,
     ecn_threshold_bytes: int = 32_000,
+    pfc_params=None,
     **builder_kwargs,
 ) -> Topology:
-    """Build a topology wired for ``protocol`` (queues + switch agents)."""
+    """Build a topology wired for ``protocol`` (queues + switch agents).
+
+    ``pfc_params`` (a :class:`repro.net.pfc.PfcParams`) forces a lossless
+    fabric with explicit thresholds regardless of protocol — the
+    pathology scenarios use it to pin tight XOFF/XON watermarks; without
+    it the fabric is installed only for lossless protocols or when
+    ``$REPRO_LOSSLESS`` asks for one (with buffer-scaled defaults).
+    """
     topo = builder(
         buffer_bytes=buffer_bytes,
         queue_factory=queue_factory_for(
@@ -66,7 +79,10 @@ def build_topology(
         **builder_kwargs,
     )
     configure_network(
-        topo.network, protocol, tfc_params or DEFAULT_PARAMS
+        topo.network,
+        protocol,
+        tfc_params or DEFAULT_PARAMS,
+        pfc_params=pfc_params,
     )
     # Env-selected telemetry ($REPRO_TELEMETRY / runner --telemetry)
     # attaches here — the one chokepoint every experiment cell, chaos

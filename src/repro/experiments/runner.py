@@ -45,6 +45,9 @@ from .fig12_incast import run_incast_cell
 from .fig13_benchmark import run_benchmark_cell
 from .fig14_rho import run_rho_cell
 from .multipath_benchmark import run_multipath_cell
+from .pfc_pathology import FABRICS as PFC_FABRICS
+from .pfc_pathology import SCENARIOS as PFC_SCENARIOS
+from .pfc_pathology import run_pathology_cell
 
 CellFn = Callable[..., ExperimentResult]
 
@@ -61,6 +64,7 @@ FIGURE_CELLS: Dict[str, CellFn] = {
     "fig14": run_rho_cell,
     "ecmp": run_collision_cell,
     "mpath": run_multipath_cell,
+    "pfc": run_pathology_cell,
 }
 
 #: Routing policies swept by the multi-path default plans.
@@ -154,6 +158,7 @@ def run_cells(
     telemetry: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
     config: Optional[SimConfig] = None,
+    cell_timeout: Optional[float] = None,
 ) -> List[ExperimentResult]:
     """Run every cell and return results in the order specs were given.
 
@@ -173,6 +178,13 @@ def run_cells(
     stats file per cell — profiled runs are forced onto the serial path,
     since a worker process would profile the pool plumbing, not the
     simulation.
+
+    ``cell_timeout`` (seconds of wall-clock, per cell) runs each cell in
+    its own killable process; a cell that exceeds the budget is
+    terminated and reported as a deterministic ``timed_out`` result
+    instead of hanging the whole batch.  Like the pool, it degrades to
+    plain serial execution (without timeouts) where multiprocessing is
+    unavailable.
     """
     if config is None:
         config = SimConfig(
@@ -187,6 +199,18 @@ def run_cells(
     with config.env():
         if profile_dir is not None:
             return _run_profiled(resolved, profile_dir)
+        if cell_timeout is not None:
+            try:
+                return _run_with_timeout(resolved, jobs, cell_timeout)
+            except RunnerError:
+                raise
+            except (OSError, ImportError, PermissionError) as exc:
+                print(
+                    f"runner: cell-timeout processes unavailable ({exc!r}); "
+                    "falling back to serial execution without timeouts",
+                    file=sys.stderr,
+                )
+            return [_execute_cell(spec) for spec in resolved]
         if jobs > 1 and len(resolved) > 1:
             try:
                 return _run_pool(resolved, jobs)
@@ -230,6 +254,113 @@ def _safe_label(spec: CellSpec) -> str:
         f"{k}-{spec.kwargs[k]}" for k in sorted(spec.kwargs)
     )
     return "".join(c if c.isalnum() or c in "._-" else "-" for c in raw)[:80]
+
+
+def timed_out_result(spec: CellSpec, timeout_s: float) -> ExperimentResult:
+    """The deterministic placeholder a killed cell reports.
+
+    Depends only on the spec and the budget — never on how far the cell
+    got before the kill — so a timed-out batch is still reproducible.
+    """
+    protocol = spec.kwargs.get("protocol") or spec.kwargs.get("fabric") or ""
+    return ExperimentResult(
+        name=spec.figure,
+        protocol=str(protocol),
+        scalars={"timed_out": 1.0, "cell_timeout_s": float(timeout_s)},
+    )
+
+
+def _timeout_worker(conn, spec: CellSpec) -> None:
+    """Child process entry point for timeout-guarded cells."""
+    try:
+        result = _execute_cell(spec)
+        conn.send(("ok", result))
+    except RunnerError as exc:
+        conn.send(("err", str(exc)))
+    except BaseException as exc:  # pragma: no cover - defensive
+        conn.send(("err", f"cell {spec.label} failed: {exc!r}"))
+    finally:
+        conn.close()
+
+
+def _run_with_timeout(
+    specs: List[CellSpec], jobs: int, timeout_s: float
+) -> List[ExperimentResult]:
+    """One killable process per cell, at most ``jobs`` in flight.
+
+    A pool cannot do this: :class:`~concurrent.futures.ProcessPoolExecutor`
+    has no per-task kill (cancelling a running future is a no-op), and
+    terminating a worker poisons the whole pool.  Plain processes keep a
+    hung cell's blast radius to itself.
+    """
+    import multiprocessing as mp
+    from multiprocessing.connection import wait as connection_wait
+
+    results: List[Optional[ExperimentResult]] = [None] * len(specs)
+    pending = list(enumerate(specs))
+    #: parent pipe end -> (spec index, process, wall-clock deadline)
+    running: Dict[Any, Any] = {}
+
+    def reap(conn) -> None:
+        index, proc, _ = running.pop(conn)
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            status, payload = (
+                "err",
+                f"worker process died while running {specs[index].label}",
+            )
+        conn.close()
+        proc.join()
+        if status != "ok":
+            raise RunnerError(payload)
+        results[index] = payload
+
+    try:
+        while pending or running:
+            while pending and len(running) < max(1, jobs):
+                index, spec = pending.pop(0)
+                parent_conn, child_conn = mp.Pipe(duplex=False)
+                proc = mp.Process(
+                    target=_timeout_worker, args=(child_conn, spec)
+                )
+                proc.start()
+                child_conn.close()
+                running[parent_conn] = (
+                    index,
+                    proc,
+                    time.monotonic() + timeout_s,
+                )
+            next_deadline = min(d for (_, _, d) in running.values())
+            ready = connection_wait(
+                list(running),
+                timeout=max(0.0, next_deadline - time.monotonic()),
+            )
+            for conn in ready:
+                reap(conn)
+            now = time.monotonic()
+            expired = [
+                conn
+                for conn, (_, _, deadline) in running.items()
+                if deadline <= now
+            ]
+            for conn in expired:
+                index, proc, _ = running.pop(conn)
+                proc.terminate()
+                proc.join()
+                conn.close()
+                print(
+                    f"runner: cell {specs[index].label} exceeded "
+                    f"{timeout_s:g}s wall-clock; killed",
+                    file=sys.stderr,
+                )
+                results[index] = timed_out_result(specs[index], timeout_s)
+    finally:
+        for conn, (_, proc, _) in running.items():
+            proc.terminate()
+            proc.join()
+            conn.close()
+    return results  # type: ignore[return-value]
 
 
 def _run_pool(specs: List[CellSpec], jobs: int) -> List[ExperimentResult]:
@@ -364,6 +495,22 @@ def default_plan(
                             },
                         )
                     )
+        elif figure == "pfc":
+            # TFC-vs-PFC pathology head-to-head: every scenario under
+            # both fabrics, so each pathology row carries its clean
+            # counterpart next to it.
+            for scenario in PFC_SCENARIOS:
+                for fabric in PFC_FABRICS:
+                    specs.append(
+                        CellSpec(
+                            "pfc",
+                            {
+                                "scenario": scenario,
+                                "fabric": fabric,
+                                "duration_ms": 30 if quick else 60,
+                            },
+                        )
+                    )
         else:
             raise RunnerError(
                 f"no default plan for {figure!r}; "
@@ -435,7 +582,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="record full telemetry for every cell and export the "
         "metrics/slot-timeline/flight files into DIR",
     )
+    parser.add_argument(
+        "--cell-timeout",
+        metavar="SECONDS",
+        type=float,
+        default=None,
+        help="kill any cell exceeding this wall-clock budget and report "
+        "it as a deterministic timed_out result instead of hanging the "
+        "batch (runs each cell in its own process)",
+    )
     args = parser.parse_args(argv)
+    if args.cell_timeout is not None and args.cell_timeout <= 0:
+        parser.error("--cell-timeout must be positive")
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     specs = default_plan(args.figures, quick=args.quick)
@@ -451,6 +609,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         + (f" scheduler={args.scheduler}" if args.scheduler else "")
         + (f" routing={args.routing}" if args.routing else "")
         + (f" telemetry={args.telemetry}" if args.telemetry else "")
+        + (
+            f" cell-timeout={args.cell_timeout:g}s"
+            if args.cell_timeout
+            else ""
+        )
     )
     start = time.perf_counter()
     results = run_cells(
@@ -461,6 +624,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         routing=args.routing,
         profile_dir=args.profile,
         telemetry_dir=args.telemetry,
+        cell_timeout=args.cell_timeout,
     )
     elapsed = time.perf_counter() - start
 

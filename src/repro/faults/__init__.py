@@ -11,6 +11,9 @@ first-class evaluated surface:
   clock, so every chaos run is an ordinary deterministic simulation.
 * :class:`InvariantMonitor` (:mod:`repro.faults.invariants`) asserts the
   TFC control-loop invariants on every slot while the chaos unfolds.
+* :mod:`repro.faults.pathology` detects the lossless-fabric failure
+  modes (pause storms, head-of-line blocking, cyclic-buffer-dependency
+  deadlock) the TFC-vs-PFC head-to-head experiments pin.
 * :mod:`repro.faults.recovery` turns a goodput series plus a fault
   timeline into recovery metrics (time-to-reconverge, dip depth).
 
@@ -19,6 +22,13 @@ The chaos scenario driver lives in :mod:`repro.experiments.chaos`.
 
 from .engine import FaultInjector, FaultRecord
 from .invariants import InvariantMonitor, InvariantViolation, Violation
+from .pathology import (
+    CbdDeadlockDetector,
+    HolBlockingDetector,
+    Pathology,
+    PathologySuite,
+    PauseStormDetector,
+)
 from .recovery import RecoveryReport, measure_recovery
 
 __all__ = [
@@ -27,6 +37,11 @@ __all__ = [
     "InvariantMonitor",
     "InvariantViolation",
     "Violation",
+    "Pathology",
+    "PauseStormDetector",
+    "HolBlockingDetector",
+    "CbdDeadlockDetector",
+    "PathologySuite",
     "RecoveryReport",
     "measure_recovery",
 ]

@@ -42,13 +42,23 @@ _EPSILON = 1e-6
 
 @dataclass
 class Violation:
-    """One observed invariant breach, with everything needed to debug it."""
+    """One observed invariant breach, with everything needed to debug it.
+
+    ``node``/``port_index``/``slot`` carry the structured identity of the
+    breach site (and the agent's slot counter at the time), so a
+    flight-recorder dump is attributable without replaying the run;
+    ``location`` remains the human-readable form.  ``slot`` is -1 for
+    checks not tied to an agent (e.g. the queue-capacity sweep).
+    """
 
     time_ns: int
     invariant: str
     location: str
     message: str
     context: Dict[str, float] = field(default_factory=dict)
+    node: str = ""
+    port_index: int = -1
+    slot: int = -1
 
     def report(self) -> str:
         """Multi-line event-context report."""
@@ -56,8 +66,13 @@ class Violation:
             f"invariant violated: {self.invariant}",
             f"  at t={self.time_ns}ns ({self.time_ns / 1e6:.3f} ms)",
             f"  location: {self.location}",
-            f"  {self.message}",
         ]
+        if self.node:
+            lines.append(
+                f"  node: {self.node} port: {self.port_index}"
+                f" slot: {self.slot}"
+            )
+        lines.append(f"  {self.message}")
         for key, value in sorted(self.context.items()):
             lines.append(f"    {key} = {value}")
         return "\n".join(lines)
@@ -113,12 +128,18 @@ class InvariantMonitor:
         self._attached = False
         self._stopped = False
         self._wrapped_agents: List["TfcPortAgent"] = []
-        self.agents: List["TfcPortAgent"] = [
-            port.agent
-            for switch in network.switches
-            for port in switch.ports
-            if port.agent is not None
-        ]
+        # When a lossless fabric is installed its PfcPortAgent wraps the
+        # TFC agent; the monitor checks the *protocol* agent underneath
+        # (token clamps, arbiter credit are TFC state, not PFC state).
+        from ..net.pfc import protocol_agent
+
+        agents: List["TfcPortAgent"] = []
+        for switch in network.switches:
+            for port in switch.ports:
+                agent = protocol_agent(port.agent)
+                if agent is not None:
+                    agents.append(agent)
+        self.agents = agents
         self._attach()
 
     # ------------------------------------------------------------------
@@ -145,6 +166,7 @@ class InvariantMonitor:
                     self._locate(agent),
                     "switch raised a packet's window field (must only "
                     "ever lower it: min-reduction along the path)",
+                    agent=agent,
                     window_before=window_before,
                     window_after=packet.window,
                 )
@@ -173,19 +195,45 @@ class InvariantMonitor:
         return f"{port.node.name}[{port.index}]->{port.peer_node.name}"
 
     def _violation(
-        self, invariant: str, location: str, message: str, **context: float
+        self,
+        invariant: str,
+        location: str,
+        message: str,
+        agent: "TfcPortAgent" = None,
+        port=None,
+        **context: float,
     ) -> None:
+        # Structured identity for the breach site: from the agent when the
+        # check is agent-bound (which also supplies the slot counter),
+        # else from the port the sweep was inspecting.
+        slot = -1
+        if agent is not None:
+            port = agent.port
+            slot = getattr(agent, "slot_index", -1)
+        elif port is not None and port.agent is not None:
+            slot = getattr(port.agent, "slot_index", -1)
         violation = Violation(
             time_ns=self.sim.now,
             invariant=invariant,
             location=location,
             message=message,
             context=context,
+            node=port.node.name if port is not None else "",
+            port_index=port.index if port is not None else -1,
+            slot=slot,
         )
         self.violations.append(violation)
         if self._violations_counter is not None:
             self._violations_counter.inc()
-        self.tracer.emit(INVARIANT_VIOLATION, violation=violation)
+        self.tracer.emit(
+            INVARIANT_VIOLATION,
+            violation=violation,
+            invariant=invariant,
+            node=violation.node,
+            port_index=violation.port_index,
+            slot=violation.slot,
+            location=location,
+        )
         if self.raise_on_violation:
             raise InvariantViolation(violation)
 
@@ -213,6 +261,7 @@ class InvariantMonitor:
                 f"token value escaped its "
                 f"[{params.min_token_bdp_factor}, "
                 f"{params.max_token_bdp_factor}] x c x rtt_b clamps",
+                agent=agent,
                 tokens=agent.tokens,
                 bdp=bdp,
                 rttb_ns=agent.rttb_ns,
@@ -224,6 +273,7 @@ class InvariantMonitor:
                 "effective_flows",
                 location,
                 "published effective-flow count below 1",
+                agent=agent,
                 published_e=agent.published_e,
             )
         if agent.effective_flows < 0:
@@ -231,6 +281,7 @@ class InvariantMonitor:
                 "effective_flows",
                 location,
                 "live effective-flow counter went negative",
+                agent=agent,
                 effective_flows=agent.effective_flows,
             )
         if agent.window < 0:
@@ -238,6 +289,7 @@ class InvariantMonitor:
                 "window_nonnegative",
                 location,
                 "published window is negative",
+                agent=agent,
                 window=agent.window,
             )
         self._check_arbiter(agent, location)
@@ -250,6 +302,7 @@ class InvariantMonitor:
                 "delay_arbiter_credit",
                 location,
                 "delay-arbiter credit escaped its [-cap, +cap] bound",
+                agent=agent,
                 credit=arbiter.credit,
                 cap=arbiter.cap,
             )
@@ -266,6 +319,7 @@ class InvariantMonitor:
                         "queue_capacity",
                         f"{node.name}[{port.index}]",
                         "queue occupancy exceeds configured capacity",
+                        port=port,
                         byte_length=queue.byte_length,
                         capacity_bytes=queue.capacity_bytes,
                     )

@@ -13,6 +13,15 @@ from .packet import (
     FlowKey,
     Packet,
 )
+from .pfc import (
+    LosslessFabric,
+    PauseFrame,
+    PfcIngress,
+    PfcParams,
+    PfcPortAgent,
+    enable_pfc,
+    protocol_agent,
+)
 from .port import Link, Port
 from .queues import (
     BernoulliLoss,
@@ -52,6 +61,13 @@ __all__ = [
     "GilbertElliottLoss",
     "FilteredLoss",
     "is_pure_ack",
+    "PfcParams",
+    "PauseFrame",
+    "PfcIngress",
+    "PfcPortAgent",
+    "LosslessFabric",
+    "enable_pfc",
+    "protocol_agent",
     "Topology",
     "dumbbell",
     "leaf_spine",

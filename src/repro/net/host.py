@@ -117,6 +117,16 @@ class Host(Endpoint):
         self.ports[0].send(packet)
 
     def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        op = packet.pfc_op
+        if op is not None:
+            # MAC-control pause frame: consumed by the NIC itself.  Only
+            # transmission stops — reception continues (unlike the host
+            # *stall* fault above, which freezes the whole machine).
+            if op == "xoff":
+                self.ports[in_port_index].pause()
+            elif not self.paused:  # a stalled host stays stalled
+                self.ports[in_port_index].resume()
+            return
         if self.paused:
             self._paused_rx.append(packet)
             return

@@ -49,7 +49,16 @@ class Packet:
         "ecn_capable", "ecn_ce", "ecn_echo",
         "sent_at", "retransmitted", "hops",
         "size", "frame_size", "flow_key", "reverse_flow_key",
+        "pfc_ingress",
     )
+
+    # PFC fields with class-level defaults: data packets never carry a
+    # pause opcode and (for now) all traffic rides lossless class 0, so
+    # reads resolve against the class and cost nothing per instance.
+    # PauseFrame (repro.net.pfc) shadows these with real slots.
+    pfc_op: Optional[str] = None
+    pfc_class: int = 0
+    priority: int = 0
 
     def __init__(
         self,
@@ -97,6 +106,9 @@ class Packet:
         self.sent_at: Optional[int] = None
         self.retransmitted = False
         self.hops = 0
+        # Ingress-accounting handle set by the lossless fabric while the
+        # packet occupies a switch buffer (repro.net.pfc); None otherwise.
+        self.pfc_ingress = None
 
     # ------------------------------------------------------------------
     # Sizes

@@ -123,6 +123,7 @@ class Port:
         "queue",
         "tracer",
         "agent",
+        "on_dequeue",
         "_busy",
         "paused",
         "tx_packets",
@@ -145,6 +146,10 @@ class Port:
         self.queue = queue
         self.tracer = tracer
         self.agent = None  # set by protocols that need per-port state
+        # Optional callable(packet) fired when a packet leaves the queue
+        # to start serialising — the lossless fabric releases its ingress
+        # accounting here (the buffer slot is free once TX begins).
+        self.on_dequeue = None
         self._busy = False
         self.paused = False
         self.tx_packets = 0
@@ -199,6 +204,8 @@ class Port:
             self._busy = False
             return
         self._busy = True
+        if self.on_dequeue is not None:
+            self.on_dequeue(packet)
         tx_ns = transmission_time_ns(packet.frame_size, self.link.effective_rate_bps)
         self._sim.schedule(tx_ns, self._finish_tx, packet)
 

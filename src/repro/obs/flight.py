@@ -40,6 +40,16 @@ DEFAULT_TOPICS: Tuple[str, ...] = (
     _trace.FAULT_INJECTED,
     _trace.FAULT_CLEARED,
     _trace.INVARIANT_VIOLATION,
+    _trace.PFC_PAUSE,
+    _trace.PFC_RESUME,
+    _trace.PATHOLOGY_DETECTED,
+)
+
+#: Topics whose emission snapshots the ring: invariant breaches and
+#: detected fabric pathologies both mark "the story so far explains it".
+_AUTO_DUMP_TOPICS: Tuple[str, ...] = (
+    _trace.INVARIANT_VIOLATION,
+    _trace.PATHOLOGY_DETECTED,
 )
 
 _MAX_SUMMARY_CHARS = 200
@@ -102,7 +112,7 @@ class FlightRecorder:
         self._handlers.clear()
 
     def _make_handler(self, topic: str):
-        auto_dump = topic == _trace.INVARIANT_VIOLATION
+        auto_dump = topic in _AUTO_DUMP_TOPICS
 
         def handler(*args, **kwargs) -> None:
             record: FlightRecord = {"time_ns": self.sim.now, "topic": topic}

@@ -91,3 +91,6 @@ TFC_ACK_DELAYED = "tfc.ack_delayed"
 FAULT_INJECTED = "fault.injected"
 FAULT_CLEARED = "fault.cleared"
 INVARIANT_VIOLATION = "fault.invariant_violation"
+PFC_PAUSE = "pfc.pause"
+PFC_RESUME = "pfc.resume"
+PATHOLOGY_DETECTED = "fault.pathology"

@@ -32,6 +32,7 @@ class Protocol:
     receiver_cls: Type[Receiver]
     needs_ecn: bool = False
     needs_tfc_switches: bool = False
+    needs_lossless: bool = False
 
 
 # Populated lazily: repro.core imports this module (its endpoints subclass
@@ -50,6 +51,13 @@ def _ensure_registry() -> Dict[str, Protocol]:
         )
         PROTOCOLS["tfc"] = Protocol(
             "tfc", TfcSender, TfcReceiver, needs_tfc_switches=True
+        )
+        # The PFC baseline TFC argues against: a loss-based transport on
+        # a fabric made lossless by hop-by-hop pausing (RoCE-style
+        # deployments).  The endpoints are plain NewReno — with no drops
+        # they simply never cut cwnd — and the switches do the pausing.
+        PROTOCOLS["pfc"] = Protocol(
+            "pfc", NewRenoSender, NewRenoReceiver, needs_lossless=True
         )
     return PROTOCOLS
 
@@ -81,13 +89,33 @@ def configure_network(
     network: Network,
     protocol: str,
     tfc_params=None,
+    pfc_params=None,
 ) -> None:
-    """Install protocol-specific switch behaviour (TFC agents)."""
-    if get_protocol(protocol).needs_tfc_switches:
+    """Install protocol-specific switch behaviour.
+
+    TFC agents when the protocol needs them; then the PFC lossless
+    fabric when either the protocol demands it (``"pfc"``) or the
+    ``$REPRO_LOSSLESS`` knob asks for lossless classes fabric-wide.
+    Order matters: the PFC agent wraps whatever protocol agent is
+    already on the port, so TFC must install first.
+    """
+    spec = get_protocol(protocol)
+    if spec.needs_tfc_switches:
         from ..core.params import DEFAULT_PARAMS
         from ..core.switch_agent import enable_tfc
 
         enable_tfc(network, tfc_params if tfc_params is not None else DEFAULT_PARAMS)
+    if spec.needs_lossless or pfc_params is not None:
+        from ..net.pfc import enable_pfc
+
+        enable_pfc(network, pfc_params)
+    else:
+        from ..config import lossless_mode
+
+        if lossless_mode() == "pfc":
+            from ..net.pfc import enable_pfc
+
+            enable_pfc(network)
 
 
 def open_flow(

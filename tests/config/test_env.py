@@ -6,11 +6,13 @@ import pytest
 
 from repro.config import (
     KNOBS,
+    LOSSLESS_MODES,
     ROUTING_NAMES,
     SCHEDULER_NAMES,
     TELEMETRY_MODES,
     current,
     env,
+    lossless_mode,
     routing_name,
     scheduler_name,
     telemetry_dir,
@@ -19,11 +21,14 @@ from repro.config import (
 
 
 def test_knob_table_covers_every_surface():
-    assert set(KNOBS) == {"scheduler", "routing", "telemetry", "telemetry_dir"}
+    assert set(KNOBS) == {
+        "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
+    }
     assert KNOBS["scheduler"].names == SCHEDULER_NAMES
     assert KNOBS["routing"].names == ROUTING_NAMES
     assert KNOBS["telemetry"].names == TELEMETRY_MODES
     assert KNOBS["telemetry_dir"].names is None  # free-form path
+    assert KNOBS["lossless"].names == LOSSLESS_MODES
 
 
 def test_defaults_when_unset(monkeypatch):
@@ -33,6 +38,7 @@ def test_defaults_when_unset(monkeypatch):
     assert routing_name() == "single"
     assert telemetry_mode() == "off"
     assert telemetry_dir() is None
+    assert lossless_mode() == "off"
 
 
 def test_current_validates_and_names_the_variable(monkeypatch):

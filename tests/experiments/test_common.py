@@ -16,7 +16,17 @@ from repro.net.topology import dumbbell
 
 
 def test_protocol_labels_cover_all():
-    assert set(PROTOCOL_LABELS) == set(ALL_PROTOCOLS) == {"tfc", "dctcp", "tcp"}
+    assert set(ALL_PROTOCOLS) == {"tfc", "dctcp", "tcp"}
+    # Labels cover the default sweep set plus the lossless baseline the
+    # pathology head-to-head adds ("pfc" = TCP over a PFC fabric).
+    assert set(PROTOCOL_LABELS) == set(ALL_PROTOCOLS) | {"pfc"}
+
+
+def _unwrap_lossless(agent):
+    """Strip the PFC wrapper the ``REPRO_LOSSLESS=pfc`` CI shard adds."""
+    from repro.net.pfc import protocol_agent
+
+    return protocol_agent(agent)
 
 
 def test_build_topology_tcp_plain_queues():
@@ -24,7 +34,7 @@ def test_build_topology_tcp_plain_queues():
     port = topo.bottleneck("main")
     assert type(port.queue) is DropTailQueue
     assert port.queue.capacity_bytes == 128_000
-    assert port.agent is None
+    assert _unwrap_lossless(port.agent) is None
 
 
 def test_build_topology_dctcp_ecn_queues():
@@ -42,7 +52,7 @@ def test_build_topology_tfc_agents_installed():
     topo = build_topology(
         dumbbell, "tfc", buffer_bytes=128_000, tfc_params=params, n_senders=2
     )
-    agent = topo.bottleneck("main").agent
+    agent = _unwrap_lossless(topo.bottleneck("main").agent)
     assert isinstance(agent, TfcPortAgent)
     assert agent.params.rho0 == 0.93
 

@@ -209,6 +209,66 @@ def test_run_cells_accepts_simconfig(tmp_path):
     assert len(list(tmp_path.glob("*.metrics.jsonl"))) == len(QUICK_SPECS)
 
 
+# ----------------------------------------------------------------------
+# --cell-timeout: killable per-cell processes (satellite of the lossless
+# robustness PR — a hung cell must not hang the batch)
+# ----------------------------------------------------------------------
+def test_cell_timeout_under_budget_matches_untimed_run():
+    """Cells that finish inside the budget are bit-identical to a plain
+    run — the process round-trip must not perturb results."""
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    guarded = run_cells(QUICK_SPECS, jobs=1, root_seed=7, cell_timeout=120.0)
+    assert guarded == reference
+    guarded_parallel = run_cells(
+        QUICK_SPECS, jobs=2, root_seed=7, cell_timeout=120.0
+    )
+    assert guarded_parallel == reference
+
+
+def test_cell_timeout_kills_hung_cell_deterministically():
+    """A cell exceeding the budget is terminated and reported as the
+    deterministic ``timed_out`` placeholder; its neighbours complete."""
+    specs = [
+        QUICK_SPECS[0],
+        # A 30-simulated-second fig06 run takes minutes of wall-clock —
+        # it will never finish inside the budget; the quick fig14 cell
+        # finishes in well under a second even on a loaded machine.
+        CellSpec("fig06", {"duration_s": 30.0}),
+    ]
+    results = run_cells(specs, jobs=2, root_seed=7, cell_timeout=4.0)
+    reference = run_cells(QUICK_SPECS[:1], jobs=1, root_seed=7)
+    assert results[0] == reference[0]
+    assert results[1].name == "fig06"
+    assert results[1].scalars == {"timed_out": 1.0, "cell_timeout_s": 4.0}
+    assert results[1].series == {}
+
+
+def test_cell_timeout_result_is_pure_function_of_spec():
+    """The placeholder depends only on (spec, budget) — two kills of the
+    same cell compare equal, which is what keeps timed-out batches
+    reproducible."""
+    from repro.experiments.runner import timed_out_result
+
+    spec = CellSpec("fig06", {"duration_s": 30.0}).resolved(7)
+    assert timed_out_result(spec, 1.5) == timed_out_result(spec, 1.5)
+    assert timed_out_result(spec, 1.5) != timed_out_result(spec, 2.0)
+
+
+def test_cell_timeout_surfaces_worker_errors():
+    """A cell that *fails* (rather than hangs) under the timeout path
+    still raises RunnerError naming the cell."""
+    specs = [CellSpec("fig14", {"rho0": 1.00, "no_such_kwarg": True})]
+    with pytest.raises(RunnerError, match="no_such_kwarg"):
+        run_cells(specs, jobs=1, cell_timeout=60.0)
+
+
+def test_cell_timeout_cli_rejects_non_positive():
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["--figures", "fig14", "--cell-timeout", "0"])
+
+
 def test_default_plan_covers_every_figure():
     figures = sorted(FIGURE_CELLS)
     specs = default_plan(figures, quick=True)

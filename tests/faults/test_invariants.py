@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.common import build_topology
 from repro.faults import InvariantMonitor, InvariantViolation
 from repro.net.packet import MSS, Packet
+from repro.net.pfc import protocol_agent
 from repro.net.topology import dumbbell
 from repro.sim.trace import INVARIANT_VIOLATION
 from repro.sim.units import milliseconds
@@ -93,7 +94,9 @@ def test_queue_capacity_sweep():
 def test_detach_removes_all_hooks():
     topo, _ = tfc_scenario()
     monitor = InvariantMonitor(topo.network)
-    agent = topo.bottleneck().agent
+    # The monitor shadows on_transit on the *protocol* agent (under the
+    # REPRO_LOSSLESS=pfc shard, port.agent is the PFC wrapper above it).
+    agent = protocol_agent(topo.bottleneck().agent)
     assert "on_transit" in agent.__dict__  # wrapped
     monitor.detach()
     assert "on_transit" not in agent.__dict__

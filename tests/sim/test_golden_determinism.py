@@ -213,6 +213,49 @@ def test_golden_fig13_with_full_telemetry(monkeypatch):
     drain_pending()
 
 
+@pytest.mark.parametrize("mode", ["counters", "full"])
+@pytest.mark.parametrize("lossless", ["off", "pfc"])
+def test_golden_dumbbell_lossless_bit_identical(monkeypatch, lossless, mode):
+    """``REPRO_LOSSLESS=pfc`` changes *nothing* on a TFC dumbbell: the
+    fabric's buffer-scaled XOFF default sits far above what TFC's token
+    admission ever queues, so no pause frame is emitted, no extra events
+    are scheduled, and every golden constant holds — with or without the
+    telemetry stack watching the fabric."""
+    from repro.obs import drain_pending
+
+    monkeypatch.setenv("REPRO_LOSSLESS", lossless)
+    monkeypatch.setenv("REPRO_TELEMETRY", mode)
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    net = topo.network
+    if lossless == "pfc":
+        assert net.lossless is not None
+    else:
+        assert net.lossless is None
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    net.run_for(seconds(0.1))
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.delimiter_elected": 1,
+        "tfc.window_update": 731,
+    }
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+    if lossless == "pfc":
+        assert net.lossless.pause_frames == 0
+        assert net.lossless.resume_frames == 0
+        assert net.lossless.headroom_overflows == 0
+    drain_pending()
+
+
 @pytest.mark.parametrize(
     "backend", ["heap", "calendar", "wheel", "adaptive"]
 )

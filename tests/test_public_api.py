@@ -52,11 +52,13 @@ def test_config_namespace_is_the_selection_surface():
     """Every run-level selection knob is reachable from repro.config."""
     from repro.config import (
         KNOBS,
+        LOSSLESS_MODES,
         ROUTING_NAMES,
         SCHEDULER_NAMES,
         TELEMETRY_MODES,
         SimConfig,
         env,
+        lossless_mode,
         routing_name,
         scheduler_name,
         telemetry_dir,
@@ -66,10 +68,13 @@ def test_config_namespace_is_the_selection_surface():
     assert set(SCHEDULER_NAMES) >= {"heap", "calendar", "wheel", "adaptive"}
     assert set(ROUTING_NAMES) >= {"single", "ecmp", "flowlet", "spray"}
     assert TELEMETRY_MODES == ("off", "counters", "slots", "full")
-    assert set(KNOBS) == {"scheduler", "routing", "telemetry", "telemetry_dir"}
+    assert LOSSLESS_MODES == ("off", "pfc")
+    assert set(KNOBS) == {
+        "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
+    }
     assert callable(env) and callable(scheduler_name)
     assert callable(routing_name) and callable(telemetry_mode)
-    assert callable(telemetry_dir)
+    assert callable(telemetry_dir) and callable(lossless_mode)
     assert SimConfig().seed == 0
 
 
