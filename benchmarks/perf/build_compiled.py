@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Build the opt-in compiled kernel core (``repro.sim._core_compiled``).
+
+``repro/sim/core.py`` is the single source of truth; this script copies it
+to ``repro/sim/_core_compiled.py`` and mypyc-compiles that twin in place,
+so the interpreted module keeps working untouched and
+``repro.sim.engine.load_core`` can prefer the extension when
+``REPRO_COMPILED=on``.
+
+Usage::
+
+    pip install .[compiled]          # provides mypyc (skipped in minimal envs)
+    python benchmarks/perf/build_compiled.py [--check] [--clean]
+
+Exit codes: 0 on success (or a clean no-op), 3 when mypyc is unavailable
+(--check distinguishes "could not" from "failed"), 1 on a genuine build
+failure.  CI treats 3 as "skip the compiled shard", never as red.
+"""
+
+from __future__ import annotations
+
+import argparse
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+SIM = REPO / "src" / "repro" / "sim"
+SOURCE = SIM / "core.py"
+TWIN = SIM / "_core_compiled.py"
+
+MYPYC_UNAVAILABLE = 3
+
+
+def clean() -> None:
+    """Remove the twin source and any built extension/cache next to it."""
+    removed = []
+    for path in SIM.glob("_core_compiled.*"):
+        path.unlink()
+        removed.append(path.name)
+    build_dir = SIM / "build"
+    if build_dir.is_dir():
+        shutil.rmtree(build_dir)
+        removed.append("build/")
+    print(f"cleaned: {', '.join(removed) if removed else 'nothing to do'}")
+
+
+def mypyc_available() -> bool:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def build() -> int:
+    if not mypyc_available():
+        print(
+            "mypyc is not installed (pip install .[compiled]); "
+            "the pure-Python core remains in use.",
+            file=sys.stderr,
+        )
+        return MYPYC_UNAVAILABLE
+    twin_text = SOURCE.read_text()
+    TWIN.write_text(twin_text)
+    # Compile the twin in place; mypyc drops the extension module next to
+    # it, which shadows the .py on import (load_core then reports
+    # COMPILED=True because __file__ points at the extension).
+    result = subprocess.run(
+        [sys.executable, "-m", "mypyc", str(TWIN)],
+        cwd=SIM,
+        capture_output=True,
+        text=True,
+    )
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout)
+        sys.stderr.write(result.stderr)
+        print("mypyc build failed; pure-Python core remains in use.",
+              file=sys.stderr)
+        return 1
+    check = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            "from repro.sim.engine import load_core; "
+            "core = load_core(True); "
+            "raise SystemExit(0 if core.COMPILED else 1)",
+        ],
+        env={"PYTHONPATH": str(REPO / "src")},
+        cwd=REPO,
+    )
+    if check.returncode != 0:
+        print("built extension did not import as compiled", file=sys.stderr)
+        return 1
+    print(f"compiled core built: {TWIN.with_suffix('').name} extension ready")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="report whether mypyc is available (exit 0/3) without building",
+    )
+    parser.add_argument(
+        "--clean",
+        action="store_true",
+        help="remove the compiled twin and build artifacts",
+    )
+    args = parser.parse_args()
+    if args.clean:
+        clean()
+        return 0
+    if args.check:
+        if mypyc_available():
+            print("mypyc available")
+            return 0
+        print("mypyc unavailable")
+        return MYPYC_UNAVAILABLE
+    return build()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -22,6 +22,8 @@ from ..obs.session import TELEMETRY_MODES
 from ..routing import ROUTING_NAMES
 from ..sim.sched import SCHEDULER_NAMES
 from .envvars import (
+    BATCH_ENV_VAR,
+    COMPILED_ENV_VAR,
     KNOBS,
     LOSSLESS_ENV_VAR,
     LOSSLESS_MODES,
@@ -30,6 +32,8 @@ from .envvars import (
     TELEMETRY_DIR_ENV_VAR,
     TELEMETRY_ENV_VAR,
     EnvKnob,
+    batch_mode,
+    compiled_mode,
     current,
     env,
     lossless_mode,
@@ -51,6 +55,8 @@ __all__ = [
     "telemetry_mode",
     "telemetry_dir",
     "lossless_mode",
+    "batch_mode",
+    "compiled_mode",
     "SCHEDULER_NAMES",
     "ROUTING_NAMES",
     "TELEMETRY_MODES",
@@ -60,4 +66,6 @@ __all__ = [
     "TELEMETRY_ENV_VAR",
     "TELEMETRY_DIR_ENV_VAR",
     "LOSSLESS_ENV_VAR",
+    "BATCH_ENV_VAR",
+    "COMPILED_ENV_VAR",
 ]

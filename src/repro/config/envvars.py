@@ -31,6 +31,11 @@ ROUTING_ENV_VAR = "REPRO_ROUTING"
 TELEMETRY_ENV_VAR = "REPRO_TELEMETRY"
 TELEMETRY_DIR_ENV_VAR = "REPRO_TELEMETRY_DIR"
 LOSSLESS_ENV_VAR = "REPRO_LOSSLESS"
+BATCH_ENV_VAR = "REPRO_BATCH"
+COMPILED_ENV_VAR = "REPRO_COMPILED"
+
+# Two-state switches share one value vocabulary.
+ONOFF: Tuple[str, ...] = ("on", "off")
 
 # Defined here rather than imported from repro.net.pfc: the config layer
 # must stay importable without pulling in the datapath (and net imports
@@ -73,6 +78,12 @@ KNOBS: Dict[str, EnvKnob] = {
     "lossless": EnvKnob(
         LOSSLESS_ENV_VAR, "off", LOSSLESS_MODES, "lossless fabric mode"
     ),
+    "batch": EnvKnob(
+        BATCH_ENV_VAR, "on", ONOFF, "hot-loop batching mode"
+    ),
+    "compiled": EnvKnob(
+        COMPILED_ENV_VAR, "off", ONOFF, "compiled kernel core mode"
+    ),
 }
 
 
@@ -114,6 +125,16 @@ def lossless_mode() -> str:
     return current("lossless")
 
 
+def batch_mode() -> str:
+    """Effective hot-loop batching mode (``on`` when unset)."""
+    return current("batch")
+
+
+def compiled_mode() -> str:
+    """Effective compiled-core mode (``off`` when unset)."""
+    return current("compiled")
+
+
 class _EnvContext:
     """Pin a set of (var, value) pairs; restore previous values on exit."""
 
@@ -144,6 +165,8 @@ def env(
     telemetry: Optional[str] = None,
     telemetry_dir: Optional[str] = None,
     lossless: Optional[str] = None,
+    batch: Optional[str] = None,
+    compiled: Optional[str] = None,
 ) -> _EnvContext:
     """Pin any subset of the ``REPRO_*`` knobs while a block runs.
 
@@ -159,6 +182,8 @@ def env(
         "telemetry": telemetry,
         "telemetry_dir": telemetry_dir,
         "lossless": lossless,
+        "batch": batch,
+        "compiled": compiled,
     }
     pins: Dict[str, str] = {}
     for knob, value in requested.items():

@@ -42,9 +42,13 @@ class SimConfig:
     telemetry: Optional[str] = None
     telemetry_dir: Optional[str] = None
     lossless: Optional[str] = None
+    batch: Optional[str] = None
+    compiled: Optional[str] = None
 
     def __post_init__(self) -> None:
-        for knob in ("scheduler", "routing", "telemetry", "lossless"):
+        for knob in (
+            "scheduler", "routing", "telemetry", "lossless", "batch", "compiled"
+        ):
             value = getattr(self, knob)
             if value is not None:
                 KNOBS[knob].validate(value)
@@ -65,6 +69,8 @@ class SimConfig:
             telemetry=current("telemetry"),
             telemetry_dir=current("telemetry_dir") or None,
             lossless=current("lossless"),
+            batch=current("batch"),
+            compiled=current("compiled"),
         )
 
     def with_overrides(self, **changes) -> "SimConfig":
@@ -84,6 +90,8 @@ class SimConfig:
             telemetry=self.telemetry,
             telemetry_dir=self.telemetry_dir,
             lossless=self.lossless,
+            batch=self.batch,
+            compiled=self.compiled,
         )
 
     @property

@@ -175,9 +175,10 @@ def run_cells(
     kwarg — the multi-path figures — wins over the env default).
     ``telemetry_dir`` makes every cell export its telemetry files there
     (mode defaults to ``full``); ``profile_dir`` writes one cProfile
-    stats file per cell — profiled runs are forced onto the serial path,
-    since a worker process would profile the pool plumbing, not the
-    simulation.
+    stats file per cell.  Profiling composes with ``jobs > 1``: each
+    pool worker profiles *its own cell* (profiler enabled around the
+    cell entry point only, inside the worker) and dumps the stats file
+    itself, so the parent's pool plumbing never pollutes the numbers.
 
     ``cell_timeout`` (seconds of wall-clock, per cell) runs each cell in
     its own killable process; a cell that exceeds the budget is
@@ -198,6 +199,18 @@ def run_cells(
     resolved = [spec.resolved(config.seed) for spec in specs]
     with config.env():
         if profile_dir is not None:
+            os.makedirs(profile_dir, exist_ok=True)
+            if jobs > 1 and len(resolved) > 1:
+                try:
+                    return _run_pool(resolved, jobs, profile_dir)
+                except RunnerError:
+                    raise
+                except (OSError, ImportError, PermissionError) as exc:
+                    print(
+                        f"runner: process pool unavailable ({exc!r}); "
+                        "profiling on the serial path instead",
+                        file=sys.stderr,
+                    )
             return _run_profiled(resolved, profile_dir)
         if cell_timeout is not None:
             try:
@@ -225,27 +238,40 @@ def run_cells(
         return [_execute_cell(spec) for spec in resolved]
 
 
+def _execute_cell_profiled(
+    spec: CellSpec, index: int, profile_dir: str
+) -> ExperimentResult:
+    """Run one cell under cProfile and dump its stats file.
+
+    Top-level (hence picklable) so the pool path can submit it directly:
+    the profiler starts and stops *inside the worker*, around the cell
+    entry point only, and the worker dumps its own stats — the parent
+    never touches profile state.
+    """
+    import cProfile
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = _execute_cell(spec)
+    finally:
+        profiler.disable()
+    path = os.path.join(
+        profile_dir, f"cell_{index:03d}_{_safe_label(spec)}.prof"
+    )
+    profiler.dump_stats(path)
+    print(f"profile written to {path}", file=sys.stderr)
+    return result
+
+
 def _run_profiled(
     specs: List[CellSpec], profile_dir: str
 ) -> List[ExperimentResult]:
     """Serial execution with one cProfile stats dump per cell."""
-    import cProfile
-
-    os.makedirs(profile_dir, exist_ok=True)
-    results: List[ExperimentResult] = []
-    for index, spec in enumerate(specs):
-        profiler = cProfile.Profile()
-        profiler.enable()
-        try:
-            results.append(_execute_cell(spec))
-        finally:
-            profiler.disable()
-        path = os.path.join(
-            profile_dir, f"cell_{index:03d}_{_safe_label(spec)}.prof"
-        )
-        profiler.dump_stats(path)
-        print(f"profile written to {path}", file=sys.stderr)
-    return results
+    return [
+        _execute_cell_profiled(spec, index, profile_dir)
+        for index, spec in enumerate(specs)
+    ]
 
 
 def _safe_label(spec: CellSpec) -> str:
@@ -363,13 +389,21 @@ def _run_with_timeout(
     return results  # type: ignore[return-value]
 
 
-def _run_pool(specs: List[CellSpec], jobs: int) -> List[ExperimentResult]:
+def _run_pool(
+    specs: List[CellSpec], jobs: int, profile_dir: Optional[str] = None
+) -> List[ExperimentResult]:
     from concurrent.futures import ProcessPoolExecutor
     from concurrent.futures.process import BrokenProcessPool
 
     workers = min(jobs, len(specs))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_execute_cell, spec) for spec in specs]
+        if profile_dir is not None:
+            futures = [
+                pool.submit(_execute_cell_profiled, spec, index, profile_dir)
+                for index, spec in enumerate(specs)
+            ]
+        else:
+            futures = [pool.submit(_execute_cell, spec) for spec in specs]
         results: List[ExperimentResult] = []
         for spec, future in zip(specs, futures):
             try:
@@ -572,8 +606,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--profile",
         metavar="DIR",
         default=None,
-        help="write per-cell cProfile stats into DIR (forces serial "
-        "execution; pstats-compatible files, one per cell)",
+        help="write per-cell cProfile stats into DIR (pstats-compatible "
+        "files, one per cell; with --jobs > 1 each worker profiles and "
+        "dumps its own cell)",
     )
     parser.add_argument(
         "--telemetry",
@@ -597,12 +632,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     specs = default_plan(args.figures, quick=args.quick)
-    if args.profile and jobs > 1:
-        print(
-            "runner: --profile forces serial execution (jobs=1)",
-            file=sys.stderr,
-        )
-        jobs = 1
     print(
         f"running {len(specs)} cells across {', '.join(args.figures)} "
         f"with jobs={jobs}"

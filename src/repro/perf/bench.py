@@ -54,6 +54,21 @@ SCHEMA_VERSION = 1
 DEFAULT_SCHEDULERS = ("adaptive", "heap", "calendar", "wheel")
 
 
+def default_variants() -> tuple:
+    """Kernel-mode variants measured by default, on the lead backend only.
+
+    ``unbatched`` always (the plain/unbatched ratio is the batching
+    speedup); ``compiled`` only when the mypyc twin is actually built —
+    an interpreted-fallback row would just duplicate the plain number.
+    """
+    variants = ["unbatched"]
+    from ..sim.engine import load_core
+
+    if load_core(True).COMPILED:
+        variants.append("compiled")
+    return tuple(variants)
+
+
 def machine_info() -> Dict[str, object]:
     """Enough machine context to judge whether two snapshots are comparable."""
     return {
@@ -85,6 +100,7 @@ def run_kernel_suite(
     repeats: int = 3,
     duration_scale: float = 1.0,
     schedulers: Optional[Sequence[str]] = DEFAULT_SCHEDULERS,
+    variants: Sequence[str] = (),
 ) -> List[Dict[str, float]]:
     """Best-of-``repeats`` events/sec for every pinned kernel workload.
 
@@ -92,16 +108,32 @@ def run_kernel_suite(
     session default backend only, with bare row names (the pre-backend
     snapshot format).  Repeats interleave across backends so machine
     noise spreads evenly instead of biasing whichever backend ran last.
+
+    ``variants`` adds one extra row per (workload, variant) measured on
+    the lead backend only (``<workload>@<lead>+<variant>``) — the
+    kernel-mode dimension (unbatched / compiled) is backend-independent
+    enough that the full cross product would only add noise surface.
+    Each variant cell runs immediately after its workload's lead-backend
+    plain cell: the pair is the comparison readers make, so it must not
+    straddle minutes of machine drift.
     """
-    cells = [
-        (workload, sched)
-        for workload in KERNEL_WORKLOADS
-        for sched in (schedulers or (None,))
-    ]
+    sched_list = list(schedulers or (None,))
+    cells: List[tuple] = []
+    for workload in KERNEL_WORKLOADS:
+        for sched in sched_list:
+            cells.append((workload, sched, None))
+            if sched == sched_list[0]:
+                cells.extend(
+                    (workload, sched, variant)
+                    for variant in variants
+                    if variant
+                )
     best: Dict[int, Dict[str, float]] = {}
     for _ in range(max(repeats, 1)):
-        for idx, (workload, sched) in enumerate(cells):
-            run = run_kernel_workload(workload, duration_scale, sched)
+        for idx, (workload, sched, variant) in enumerate(cells):
+            run = run_kernel_workload(
+                workload, duration_scale, sched, variant
+            )
             if (
                 idx not in best
                 or run["events_per_sec"] > best[idx]["events_per_sec"]
@@ -185,12 +217,44 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             f"(default: {','.join(DEFAULT_SCHEDULERS)})"
         ),
     )
+    parser.add_argument(
+        "--variants",
+        default="auto",
+        help=(
+            "comma-separated kernel-mode variants measured on the lead "
+            "backend (kernel kind only); 'auto' = unbatched plus "
+            "compiled-when-built, 'none' disables the dimension"
+        ),
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=(
+            "CI smoke mode: 1 repeat, 10%% simulated durations, lead "
+            "backend only — NOT comparable against committed baselines"
+        ),
+    )
     args = parser.parse_args(argv)
     schedulers = [s for s in args.schedulers.split(",") if s.strip()]
+    if args.variants == "auto":
+        variants = list(default_variants())
+    elif args.variants == "none":
+        variants = []
+    else:
+        variants = [v for v in args.variants.split(",") if v.strip()]
+    if args.quick:
+        args.repeats = 1
+        args.duration_scale = min(args.duration_scale, 0.1)
+        schedulers = schedulers[:1]
+        print(
+            "--quick: 1 repeat, duration scale "
+            f"{args.duration_scale}, backend {schedulers[0]} only "
+            "(not baseline-comparable)"
+        )
 
     if args.kind == "kernel":
         results = run_kernel_suite(
-            args.repeats, args.duration_scale, schedulers
+            args.repeats, args.duration_scale, schedulers, variants
         )
         metric = "events_per_sec"
     else:

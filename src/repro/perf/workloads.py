@@ -24,6 +24,17 @@ Three tiers:
 Every run function takes an optional ``scheduler`` (a
 ``Simulator(scheduler=...)`` name); the bench suite runs each workload
 once per backend and names the rows ``<workload>@<scheduler>``.
+
+Kernel workloads additionally take a ``variant`` — a named kernel-mode
+override measured against the plain row:
+
+* ``""`` (plain) — the shipped defaults: batching on, interpreted core;
+* ``"unbatched"`` — ``REPRO_BATCH=off``, the pre-batching serial kernel
+  (the plain/unbatched ratio is the batching speedup, DESIGN.md §6h);
+* ``"compiled"`` — ``REPRO_COMPILED=on``, the mypyc core when built
+  (falls back to the interpreted module, making the row a no-op twin).
+
+Variant rows are named ``<workload>@<scheduler>+<variant>``.
 """
 
 from __future__ import annotations
@@ -149,14 +160,43 @@ EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
 )
 
 
-def _row_name(workload_name: str, scheduler: Optional[str]) -> str:
-    return f"{workload_name}@{scheduler}" if scheduler else workload_name
+#: Kernel-mode variants the bench suite can measure (see module docstring).
+VARIANT_NAMES = ("", "unbatched", "compiled")
+
+
+def _variant_env(variant: Optional[str]) -> Dict[str, str]:
+    """``config_env`` overrides implementing a named kernel variant."""
+    if not variant:
+        return {}
+    if variant == "unbatched":
+        return {"batch": "off"}
+    if variant == "compiled":
+        return {"compiled": "on"}
+    raise ValueError(
+        f"unknown kernel variant {variant!r} (expected one of "
+        f"{VARIANT_NAMES[1:]})"
+    )
+
+
+def _row_name(
+    workload_name: str,
+    scheduler: Optional[str],
+    variant: Optional[str] = None,
+) -> str:
+    name = f"{workload_name}@{scheduler}" if scheduler else workload_name
+    return f"{name}+{variant}" if variant else name
+
+
+def _annotate_variant(row: Dict[str, float], variant: Optional[str]) -> None:
+    if variant:
+        row["variant"] = variant
 
 
 def run_kernel_workload(
     workload: AnyKernelWorkload,
     duration_scale: float = 1.0,
     scheduler: Optional[str] = None,
+    variant: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one kernel workload; returns events, wall_s, events_per_sec.
 
@@ -164,12 +204,14 @@ def run_kernel_workload(
     scaled runs are *not* comparable against the committed baselines.
     """
     if isinstance(workload, TimerChurnWorkload):
-        return run_churn_workload(workload, duration_scale, scheduler)
+        return run_churn_workload(workload, duration_scale, scheduler, variant)
     if isinstance(workload, FabricWorkload):
-        return run_fabric_workload(workload, duration_scale, scheduler)
+        return run_fabric_workload(workload, duration_scale, scheduler, variant)
     if isinstance(workload, TelemetryWorkload):
-        return run_telemetry_workload(workload, duration_scale, scheduler)
-    with config_env(scheduler=scheduler):
+        return run_telemetry_workload(
+            workload, duration_scale, scheduler, variant
+        )
+    with config_env(scheduler=scheduler, **_variant_env(variant)):
         topo = build_topology(
             dumbbell,
             workload.protocol,
@@ -184,8 +226,8 @@ def run_kernel_workload(
         topo.network.run_for(seconds(workload.duration_s * duration_scale))
         wall = time.perf_counter() - start
     events = topo.sim.events_processed
-    return {
-        "name": _row_name(workload.name, scheduler),
+    row = {
+        "name": _row_name(workload.name, scheduler, variant),
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
@@ -193,17 +235,24 @@ def run_kernel_workload(
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
     }
+    _annotate_variant(row, variant)
+    return row
 
 
 def run_telemetry_workload(
     workload: TelemetryWorkload,
     duration_scale: float = 1.0,
     scheduler: Optional[str] = None,
+    variant: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one telemetry-on dumbbell workload on the given backend."""
     from ..obs import drain_pending
 
-    with config_env(scheduler=scheduler, telemetry=workload.telemetry):
+    with config_env(
+        scheduler=scheduler,
+        telemetry=workload.telemetry,
+        **_variant_env(variant),
+    ):
         topo = build_topology(
             dumbbell,
             workload.protocol,
@@ -219,8 +268,8 @@ def run_telemetry_workload(
         wall = time.perf_counter() - start
     drain_pending()  # nothing exports; keep the pending queue clean
     events = topo.sim.events_processed
-    return {
-        "name": _row_name(workload.name, scheduler),
+    row = {
+        "name": _row_name(workload.name, scheduler, variant),
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
@@ -229,15 +278,19 @@ def run_telemetry_workload(
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
     }
+    _annotate_variant(row, variant)
+    return row
 
 
 def run_churn_workload(
     workload: TimerChurnWorkload,
     duration_scale: float = 1.0,
     scheduler: Optional[str] = None,
+    variant: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one timer-churn workload on the given backend."""
-    sim = Simulator(scheduler=scheduler) if scheduler else Simulator()
+    with config_env(**_variant_env(variant)):
+        sim = Simulator(scheduler=scheduler) if scheduler else Simulator()
     timers = workload.timer_delays_ns
     # Per-slot base delay precomputed (the j*977 de-aliasing stagger is
     # static); the ack handler only adds the per-step jitter.
@@ -270,8 +323,8 @@ def run_churn_workload(
     sim.run(until_ns=duration_ns)
     wall = time.perf_counter() - start
     events = sim.events_processed
-    return {
-        "name": _row_name(workload.name, scheduler),
+    row = {
+        "name": _row_name(workload.name, scheduler, variant),
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": "timers",
@@ -279,15 +332,18 @@ def run_churn_workload(
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
     }
+    _annotate_variant(row, variant)
+    return row
 
 
 def run_fabric_workload(
     workload: FabricWorkload,
     duration_scale: float = 1.0,
     scheduler: Optional[str] = None,
+    variant: Optional[str] = None,
 ) -> Dict[str, float]:
     """Run one fat-tree multi-path workload on the given backend."""
-    with config_env(scheduler=scheduler):
+    with config_env(scheduler=scheduler, **_variant_env(variant)):
         topo = build_topology(
             fat_tree,
             workload.protocol,
@@ -307,8 +363,8 @@ def run_fabric_workload(
         topo.network.run_for(seconds(workload.duration_s * duration_scale))
         wall = time.perf_counter() - start
     events = topo.sim.events_processed
-    return {
-        "name": _row_name(workload.name, scheduler),
+    row = {
+        "name": _row_name(workload.name, scheduler, variant),
         "workload": workload.name,
         "scheduler": scheduler or "adaptive",
         "protocol": workload.protocol,
@@ -317,6 +373,8 @@ def run_fabric_workload(
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
     }
+    _annotate_variant(row, variant)
+    return row
 
 
 def run_experiment_workload(

@@ -22,6 +22,22 @@ cross-backend differential fuzz — is *bit-exact pop ordering*:
 Backends store ``(time, seq, event)`` triples (possibly transformed, e.g.
 negated for tail-popping), never bare events, so ordering comparisons run
 as C tuple comparisons and never reach the event object.
+
+Engine inlining (one note for all backends — the per-backend copies of
+this rationale were consolidated here):
+
+* ``Simulator._bind_backend`` recognises the three stock backends by
+  exact type and drains each through a dedicated inlined loop in
+  ``run()`` — heap head pops, calendar hot-bucket tail pops, wheel due-
+  buffer tail pops — with no function call per event.  ``schedule()``
+  likewise inserts straight into the recognised backend's store.  The
+  inlined copies must be kept in sync with the methods here; the slow
+  corners (rebuilds, refills, year scans) stay behind method calls.
+* ``Event.cancel`` inlines :meth:`Scheduler.note_cancel`; the method
+  remains for direct backend users and tests.
+* Subclassing a stock backend (test shadows, instrumentation) opts out
+  of all inlining automatically — the engine falls back to the generic
+  bound ``push``/``pop_due``/``pop_batch`` path.
 """
 
 from __future__ import annotations
@@ -77,6 +93,27 @@ class Scheduler:
         """
         raise NotImplementedError
 
+    def pop_batch(self, horizon_ns: int, out: list) -> int:
+        """Pop every due live event sharing the earliest due time.
+
+        Appends the group to ``out`` in ``(time, seq)`` order and returns
+        its size (0 when nothing is due).  This default builds on
+        :meth:`pop_due`, so any third-party backend is batch-correct for
+        free; stock backends may override with a direct head-run pop.
+        """
+        first = self.pop_due(horizon_ns)
+        if first is None:
+            return 0
+        out.append(first)
+        n = 1
+        time_ns = first.time
+        while True:
+            event = self.pop_due(time_ns)
+            if event is None:
+                return n
+            out.append(event)
+            n += 1
+
     def next_live_time(self) -> Optional[int]:
         """Time of the earliest live event, or None when empty."""
         raise NotImplementedError
@@ -99,8 +136,8 @@ class Scheduler:
     def note_cancel(self) -> None:
         """One stored entry just went dead; compact when mostly dead.
 
-        The engine inlines this logic in ``Simulator._note_cancel``; the
-        method remains for direct backend users and tests.
+        ``Event.cancel`` inlines this logic (see the module docstring);
+        the method remains for direct backend users and tests.
         """
         dead = self._dead + 1
         self._dead = dead

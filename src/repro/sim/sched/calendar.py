@@ -57,10 +57,10 @@ class CalendarScheduler(Scheduler):
         self._floor = 0
         # Hot-pop cache: the floor's bucket and its year top.  While the
         # bucket's tail entry is live with time < _hot_top it is the
-        # global minimum (the year scan would find it first), so the
-        # engine's inlined run loop pops it without the scan preamble.
-        # Invalidated (_hot_top = 0) whenever the bucket array or the
-        # floor changes underneath it.
+        # global minimum (the year scan would find it first), so it pops
+        # without the scan preamble (the engine inlines this — see the
+        # note in repro.sim.sched.base).  Invalidated (_hot_top = 0)
+        # whenever the bucket array or the floor changes underneath it.
         self._hot_bucket: List[Key] = []
         self._hot_top = 0
 

@@ -7,9 +7,11 @@ compared.  Dead entries are discarded lazily at the heap head, or swept
 by an in-place compaction when they outnumber live entries.
 
 This backend keeps no entry counter: ``len(self._heap)`` is already O(1)
-and always exact, which lets the engine's inlined heap loop pop without
-any per-event bookkeeping (only ``_dead`` is maintained, on the cancel
-and dead-pop paths).
+and always exact, so only ``_dead`` needs maintaining (on the cancel and
+dead-pop paths).  The engine drains the heap through an inlined loop —
+see the consolidated note in :mod:`repro.sim.sched.base` — which is why
+``compact``/``drain_live`` must mutate ``self._heap`` in place (slice
+assignment), keeping the engine's alias of the list valid.
 """
 
 from __future__ import annotations
@@ -53,6 +55,41 @@ class HeapScheduler(Scheduler):
             return event
         return None
 
+    def pop_batch(self, horizon_ns: int, out: list) -> int:
+        # Direct head-run pop: one horizon check for the whole group,
+        # then same-time entries pop in seq order by heap invariant.
+        heap = self._heap
+        free = self._free
+        while heap:
+            entry = heap[0]
+            event = entry[2]
+            if event.cancelled:
+                _heappop(heap)
+                self._dead -= 1
+                free.append(event)
+                continue
+            time_ns = entry[0]
+            if time_ns > horizon_ns:
+                return 0
+            _heappop(heap)
+            out.append(event)
+            n = 1
+            while heap:
+                entry = heap[0]
+                event = entry[2]
+                if event.cancelled:
+                    _heappop(heap)
+                    self._dead -= 1
+                    free.append(event)
+                    continue
+                if entry[0] != time_ns:
+                    break
+                _heappop(heap)
+                out.append(event)
+                n += 1
+            return n
+        return 0
+
     def next_live_time(self) -> Optional[int]:
         heap = self._heap
         free = self._free
@@ -67,9 +104,7 @@ class HeapScheduler(Scheduler):
         return None
 
     def compact(self) -> None:
-        # In place (slice assignment) so the engine's inlined run loop,
-        # which holds an alias of the heap list, stays valid when a
-        # callback's cancel triggers compaction mid-run.
+        # In place — see the module docstring.
         heap = self._heap
         free = self._free
         live_entries = []
@@ -83,9 +118,8 @@ class HeapScheduler(Scheduler):
         self._dead = 0
 
     def drain_live(self) -> Iterator[Entry]:
-        # Empty *in place*: the engine's inlined loop may hold an alias
-        # of this list while a callback migrates the population — the
-        # alias must run dry, never replay migrated entries.
+        # Empty *in place* (module docstring): a mid-run migration must
+        # leave the engine's alias dry, never replaying migrated entries.
         entries = self._heap[:]
         del self._heap[:]
         self._dead = 0

@@ -23,12 +23,15 @@ from repro.config import (
 def test_knob_table_covers_every_surface():
     assert set(KNOBS) == {
         "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
+        "batch", "compiled",
     }
     assert KNOBS["scheduler"].names == SCHEDULER_NAMES
     assert KNOBS["routing"].names == ROUTING_NAMES
     assert KNOBS["telemetry"].names == TELEMETRY_MODES
     assert KNOBS["telemetry_dir"].names is None  # free-form path
     assert KNOBS["lossless"].names == LOSSLESS_MODES
+    assert KNOBS["batch"].names == ("on", "off")
+    assert KNOBS["compiled"].names == ("on", "off")
 
 
 def test_defaults_when_unset(monkeypatch):
@@ -39,6 +42,8 @@ def test_defaults_when_unset(monkeypatch):
     assert telemetry_mode() == "off"
     assert telemetry_dir() is None
     assert lossless_mode() == "off"
+    assert current("batch") == "on"
+    assert current("compiled") == "off"
 
 
 def test_current_validates_and_names_the_variable(monkeypatch):

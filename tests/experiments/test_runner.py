@@ -109,6 +109,27 @@ def test_profile_dir_writes_one_stats_file_per_cell(tmp_path):
     assert stats.total_calls > 0
 
 
+def test_profile_dir_composes_with_process_pool(tmp_path):
+    """--profile with --jobs > 1: each worker dumps its own cell's stats
+    (simulation frames, not pool plumbing) and results stay identical."""
+    import pstats
+
+    profiled = run_cells(
+        QUICK_SPECS, jobs=2, root_seed=7, profile_dir=str(tmp_path)
+    )
+    reference = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
+    assert profiled == reference
+    files = sorted(tmp_path.glob("cell_*.prof"))
+    assert len(files) == len(QUICK_SPECS)
+    for path in files:
+        stats = pstats.Stats(str(path))
+        assert stats.total_calls > 0
+        # The profile saw the simulation itself, not just pool plumbing.
+        assert any(
+            "engine" in str(func) for func in stats.stats  # type: ignore[attr-defined]
+        )
+
+
 def test_results_in_submission_order():
     results = run_cells(QUICK_SPECS, jobs=1, root_seed=7)
     assert [r.scalars["rho0"] for r in results] == [0.94, 1.00]

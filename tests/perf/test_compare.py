@@ -2,7 +2,11 @@
 workloads themselves (at smoke scale, so CI never waits on a benchmark)."""
 
 from repro.perf.bench import build_payload, machine_info, run_kernel_suite
-from repro.perf.compare import compare_results, snapshot_schedulers
+from repro.perf.compare import (
+    compare_results,
+    snapshot_schedulers,
+    snapshot_variants,
+)
 from repro.perf.workloads import (
     KERNEL_WORKLOADS,
     TimerChurnWorkload,
@@ -95,6 +99,52 @@ def test_snapshot_schedulers_extraction():
         {"name": "legacy_bare"},
     ]
     assert snapshot_schedulers(rows) == ["heap", "wheel", "adaptive"]
+
+
+def test_snapshot_schedulers_skips_variant_rows():
+    rows = [
+        {"name": "a@heap", "scheduler": "heap"},
+        {"name": "a@heap+unbatched", "scheduler": "heap", "variant": "unbatched"},
+        {"name": "a@heap+compiled"},  # variant key absent: name parse
+    ]
+    assert snapshot_schedulers(rows) == ["heap"]
+
+
+def test_snapshot_variants_extraction():
+    rows = [
+        {"name": "a@heap", "scheduler": "heap"},
+        {"name": "a@heap+unbatched", "variant": "unbatched"},
+        {"name": "b@heap+unbatched", "variant": "unbatched"},
+        {"name": "a@heap+compiled"},  # variant key absent: name parse
+    ]
+    assert snapshot_variants(rows) == ["unbatched", "compiled"]
+    # Pre-variant snapshots yield no variants, so the gate measures none.
+    assert snapshot_variants([{"name": "a@heap"}, {"name": "legacy"}]) == []
+
+
+def test_variant_cells_pair_with_their_lead_plain_cell(monkeypatch):
+    """A variant cell runs immediately after its workload's lead-backend
+    plain cell — the pair readers compare must not straddle machine
+    drift accumulated over the rest of the matrix."""
+    from repro.perf import bench
+
+    calls = []
+
+    def fake(workload, duration_scale=1.0, scheduler=None, variant=None):
+        calls.append((workload.name, scheduler, variant))
+        return {"name": workload.name, "events_per_sec": 1.0}
+
+    monkeypatch.setattr(bench, "run_kernel_workload", fake)
+    run_kernel_suite(
+        repeats=1, schedulers=("adaptive", "heap"), variants=("unbatched",)
+    )
+    for name in {w.name for w in KERNEL_WORKLOADS}:
+        mine = [c for c in calls if c[0] == name]
+        assert mine == [
+            (name, "adaptive", None),
+            (name, "adaptive", "unbatched"),
+            (name, "heap", None),
+        ]
 
 
 def test_kernel_workloads_run_at_smoke_scale():

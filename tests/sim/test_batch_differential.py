@@ -1,0 +1,282 @@
+"""Differential fuzz: batched execution vs. single-pop, event for event.
+
+DESIGN.md §6h promises that hot-loop batching (``REPRO_BATCH``) is a pure
+implementation detail — every dispatch happens at the same time, in the
+same order, with the same public state, as the serial kernel.  The golden
+suite pins a handful of blessed scenarios; these tests attack the claim
+adversarially instead:
+
+* **engine level** — randomized schedule/cancel storms with heavy
+  same-nanosecond collisions, where callbacks cancel events that are
+  *already inside the current micro-batch* (the lazy-skip path the
+  batched dispatch loop must mirror exactly);
+* **network level** — the interactions the port TX burst chain must
+  survive mid-flight: a PFC XOFF landing between burst members, a loss
+  model eating frames inside a burst window, ``link_down(reroute=True)``
+  cutting a chained port, and a rate change dissolving the chain.
+
+Every scenario runs twice (``REPRO_BATCH=on`` / ``off``) and must produce
+an identical dispatch/delivery log and identical end state.
+"""
+
+import random
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.common import build_topology
+from repro.faults import FaultInjector
+from repro.net.node import Node
+from repro.net.pfc import PfcParams
+from repro.net.topology import dumbbell, fat_tree
+from repro.net.queues import BernoulliLoss
+from repro.sim.engine import Simulator
+from repro.sim.units import milliseconds, seconds
+from repro.transport.registry import open_flow
+
+
+# ----------------------------------------------------------------------
+# Engine level: random cancel-mid-batch storms
+# ----------------------------------------------------------------------
+def _storm(batch: str, seed: int):
+    """A randomized event storm with same-time pile-ups and cancellations.
+
+    Callbacks log ``(now, ident)``, randomly cancel other *pending*
+    events — including ones sharing their own timestamp, i.e. members of
+    the micro-batch currently being dispatched — and randomly schedule
+    more work at coarse times so collisions stay frequent.
+    """
+    sim = Simulator(config=SimConfig(batch=batch))
+    rng = random.Random(seed)
+    log = []
+    pending = []
+
+    def fire(ident: int) -> None:
+        log.append((sim.now, ident))
+        live = [e for e in pending if not e.cancelled and e.time >= sim.now]
+        if live and rng.random() < 0.35:
+            rng.choice(live).cancel()
+        for _ in range(rng.randrange(3)):
+            ident2 = rng.randrange(1 << 30)
+            # Coarse 10 ns grid => many events share a timestamp.
+            delay = rng.randrange(1, 8) * 10
+            pending.append(sim.schedule(delay, fire, ident2))
+
+    for ident in range(40):
+        pending.append(sim.schedule(rng.randrange(1, 5) * 10, fire, ident))
+    processed = sim.run(until_ns=5_000)
+    return log, processed, sim.now
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_cancel_mid_batch_storm_is_order_identical(seed):
+    batched = _storm("on", seed)
+    serial = _storm("off", seed)
+    assert batched == serial
+    assert len(batched[0]) > 50  # the storm actually stormed
+
+
+def test_batch_respects_run_horizon():
+    """A micro-batch must not leak past ``until_ns``: events at the same
+    timestamp straddling the horizon stay queued, exactly as serial."""
+
+    def run(batch: str):
+        sim = Simulator(config=SimConfig(batch=batch))
+        log = []
+        for ident in range(10):
+            sim.schedule(100, log.append, ident)
+        sim.run(until_ns=50)
+        mid = list(log)
+        sim.run(until_ns=200)
+        return mid, log, sim.now
+
+    assert run("on") == run("off")
+
+
+# ----------------------------------------------------------------------
+# Network level: the burst chain under mid-flight interference
+# ----------------------------------------------------------------------
+def _install_delivery_log(monkeypatch):
+    """Patch Node.receive (once) to log arrivals into a swappable list."""
+    original = Node.receive
+    sink = []
+
+    def logged(self, packet, port_index):
+        sink.append((self.sim._now, self.node_id, port_index, packet.size))
+        return original(self, packet, port_index)
+
+    monkeypatch.setattr(Node, "receive", logged)
+
+    def fresh_log():
+        nonlocal sink
+        sink = []
+        return sink
+
+    return fresh_log
+
+
+def _state(net):
+    rows = []
+    for node in net.nodes:
+        for port in node.ports:
+            queue = port.queue
+            rows.append(
+                (
+                    node.name,
+                    port.index,
+                    port.tx_packets,
+                    port.tx_bytes,
+                    port.link.faulted_frames,
+                    queue.byte_length,
+                    queue.drops,
+                    queue.enqueues,
+                    queue.max_bytes_seen,
+                )
+            )
+    return rows
+
+
+def _differential(monkeypatch, scenario):
+    """Run ``scenario`` under both batch modes, return both observations."""
+    results = []
+    fresh_log = _install_delivery_log(monkeypatch)
+    for batch in ("on", "off"):
+        monkeypatch.setenv("REPRO_BATCH", batch)
+        log = fresh_log()
+        net = scenario()
+        results.append(
+            (
+                log,
+                net.sim.events_processed,
+                net.sim.now,
+                dict(sorted(net.tracer.counters.items())),
+                _state(net),
+                [n.rx_bytes for n in net.nodes],
+            )
+        )
+    return results
+
+
+def test_pfc_xoff_mid_burst_is_bit_identical(monkeypatch):
+    """Tight PFC watermarks pause host NICs while their burst chains are
+    mid-flight; the chain must honour the pause at the next completion
+    boundary exactly as the serial port does."""
+
+    def scenario():
+        topo = build_topology(
+            dumbbell,
+            "tcp",
+            buffer_bytes=256_000,
+            n_senders=4,
+            seed=1,
+            pfc_params=PfcParams(
+                xoff_bytes=32_000, xon_bytes=8_000, headroom_bytes=32_000
+            ),
+        )
+        for i in range(4):
+            open_flow(topo.host(i), topo.host(4), "tcp", awnd_bytes=200_000)
+        topo.network.run_for(milliseconds(20))
+        assert topo.network.lossless.pause_frames > 0  # XOFF actually hit
+        return topo.network
+
+    batched, serial = _differential(monkeypatch, scenario)
+    assert batched == serial
+
+
+def test_loss_model_drop_inside_burst_is_bit_identical(monkeypatch):
+    """A Bernoulli loss model armed mid-run eats arrivals *during* burst
+    windows; RNG draw order (one draw per enqueue) must be unchanged."""
+
+    def scenario():
+        topo = build_topology(
+            dumbbell, "tcp", buffer_bytes=256_000, n_senders=4, seed=2
+        )
+        injector = FaultInjector(topo.network)
+        stream = injector.seeds.stream("fuzz-loss")
+        injector.inject_loss(
+            topo.host(0).ports[0],
+            BernoulliLoss(0.05, stream),
+            at_ns=milliseconds(2),
+            duration_ns=milliseconds(10),
+        )
+        for i in range(4):
+            open_flow(topo.host(i), topo.host(4), "tcp", awnd_bytes=200_000)
+        topo.network.run_for(milliseconds(20))
+        port = topo.host(0).ports[0]
+        assert port.queue.faulted_drops > 0  # the fault actually bit
+        return topo.network
+
+    batched, serial = _differential(monkeypatch, scenario)
+    assert batched == serial
+
+
+def test_link_down_reroute_mid_burst_is_bit_identical(monkeypatch):
+    """``link_down(reroute=True)`` on a multi-path fabric cuts a cable
+    while chained bursts are in flight and rebuilds every route; chained
+    frames finishing into the cut must vanish exactly as serial ones."""
+
+    def scenario():
+        topo = build_topology(
+            fat_tree, "tcp", buffer_bytes=256_000, k=4, seed=3, routing="ecmp"
+        )
+        injector = FaultInjector(topo.network)
+        # Cut an aggregation uplink both ways, restore later.
+        uplink = topo.switches[0].ports[2]
+        injector.link_down(
+            uplink,
+            at_ns=milliseconds(1),
+            duration_ns=milliseconds(5),
+            reroute=True,
+        )
+        for i in range(4):
+            open_flow(
+                topo.hosts[i], topo.hosts[8 + i], "tcp", awnd_bytes=200_000
+            )
+        topo.network.run_for(milliseconds(15))
+        assert topo.network.route_rebuilds >= 2
+        return topo.network
+
+    batched, serial = _differential(monkeypatch, scenario)
+    assert batched == serial
+
+
+def test_rate_change_mid_chain_is_bit_identical(monkeypatch):
+    """``degrade_link`` rewrites the effective rate mid-run: every burst
+    chain on the degraded link must dissolve at its next completion
+    boundary and re-plan at the new rate (DESIGN.md §6h flush rule)."""
+
+    def scenario():
+        topo = build_topology(
+            dumbbell, "tcp", buffer_bytes=256_000, n_senders=4, seed=4
+        )
+        injector = FaultInjector(topo.network)
+        for host in topo.hosts[:4]:
+            injector.degrade_link(
+                host.ports[0],
+                0.25,
+                at_ns=milliseconds(3),
+                duration_ns=milliseconds(6),
+            )
+        for i in range(4):
+            open_flow(topo.host(i), topo.host(4), "tcp", awnd_bytes=200_000)
+        topo.network.run_for(milliseconds(20))
+        return topo.network
+
+    batched, serial = _differential(monkeypatch, scenario)
+    assert batched == serial
+
+
+def test_tfc_long_run_is_bit_identical(monkeypatch):
+    """The paper's own transport, long enough for thousands of bursts."""
+
+    def scenario():
+        topo = build_topology(
+            dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+        )
+        for i in range(4):
+            open_flow(topo.host(i), topo.host(4), "tfc")
+        topo.network.run_for(seconds(0.05))
+        return topo.network
+
+    batched, serial = _differential(monkeypatch, scenario)
+    assert batched == serial

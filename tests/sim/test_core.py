@@ -1,0 +1,165 @@
+"""Unit tests for the batching primitives: ``Scheduler.pop_batch``, the
+``repro.sim.core`` typed kernels, and the compiled-core loader.
+
+The golden and differential suites prove batching end-to-end; these pin
+the primitives in isolation so a regression names the broken layer
+directly.
+"""
+
+import random
+
+import pytest
+
+from repro.sim import core
+from repro.sim.engine import Event, load_core
+from repro.sim.sched import make_scheduler
+
+BACKENDS = ("heap", "calendar", "wheel")
+
+
+def _event(time_ns: int, seq: int) -> Event:
+    return Event(time_ns, seq, lambda: None, ())
+
+
+def _push(sched, time_ns, seq):
+    event = _event(time_ns, seq)
+    sched.push(time_ns, seq, event)
+    return event
+
+
+# ----------------------------------------------------------------------
+# Scheduler.pop_batch — base default and per-backend overrides
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pop_batch_pops_the_whole_same_time_group(backend):
+    sched = make_scheduler(backend)
+    for seq in (3, 1, 2):
+        _push(sched, 100, seq)
+    _push(sched, 200, 4)
+    out = []
+    assert sched.pop_batch(1_000, out) == 3
+    assert [(e.time, e.seq) for e in out] == [(100, 1), (100, 2), (100, 3)]
+    out2 = []
+    assert sched.pop_batch(1_000, out2) == 1
+    assert (out2[0].time, out2[0].seq) == (200, 4)
+    assert sched.pop_batch(1_000, out2) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pop_batch_respects_horizon(backend):
+    sched = make_scheduler(backend)
+    _push(sched, 500, 1)
+    out = []
+    assert sched.pop_batch(499, out) == 0
+    assert out == []
+    assert sched.pop_batch(500, out) == 1
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_pop_batch_skips_dead_entries(backend):
+    sched = make_scheduler(backend)
+    doomed_head = _push(sched, 100, 1)
+    _push(sched, 100, 2)
+    doomed_mid = _push(sched, 100, 3)
+    _push(sched, 100, 4)
+    for doomed in (doomed_head, doomed_mid):
+        doomed.cancelled = True
+        sched.note_cancel()
+    out = []
+    assert sched.pop_batch(1_000, out) == 2
+    assert [e.seq for e in out] == [2, 4]
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("seed", [0, 1])
+def test_pop_batch_matches_pop_due_sequence(backend, seed):
+    """Differential: draining via pop_batch yields the exact pop_due order."""
+    rng = random.Random(seed)
+    plan = [(rng.randrange(1, 20) * 10, seq) for seq in range(200)]
+    doomed = set(rng.sample(range(200), 40))
+
+    def build():
+        sched = make_scheduler(backend)
+        for time_ns, seq in plan:
+            event = _push(sched, time_ns, seq)
+            if seq in doomed:
+                event.cancelled = True
+                sched.note_cancel()
+        return sched
+
+    serial, sched = [], build()
+    while True:
+        event = sched.pop_due(10_000)
+        if event is None:
+            break
+        serial.append((event.time, event.seq))
+
+    batched, sched = [], build()
+    out = []
+    while sched.pop_batch(10_000, out):
+        batched.extend((e.time, e.seq) for e in out)
+        del out[:]
+    assert batched == serial
+
+
+# ----------------------------------------------------------------------
+# repro.sim.core kernels
+# ----------------------------------------------------------------------
+def test_heap_pop_batch_mirrors_heap_backend():
+    import heapq
+
+    heap, free = [], []
+    events = {}
+    for seq, time_ns in enumerate([100, 100, 100, 200]):
+        events[seq] = _event(time_ns, seq)
+        heapq.heappush(heap, (time_ns, seq, events[seq]))
+    events[1].cancelled = True
+    out = []
+    assert core.heap_pop_batch(heap, free, 1_000, out) == (2, 1)
+    assert [e.seq for e in out] == [0, 2]
+    assert free == [events[1]]
+    assert core.heap_pop_batch(heap, [], 150, []) == (0, 0)  # horizon holds
+    out2 = []
+    assert core.heap_pop_batch(heap, [], 1_000, out2) == (1, 0)
+    assert out2[0].seq == 3
+    assert core.heap_pop_batch(heap, [], 1_000, []) == (0, 0)
+
+
+def test_burst_times_is_the_sum_of_per_frame_ceils():
+    from repro.sim.units import transmission_time_ns
+
+    rate = 1_000_000_000  # 1 Gbps
+    sizes = [1500, 40, 1500, 9000]
+    starts, dones = core.burst_times(sizes, rate, 7)
+    t = 7
+    for size, start, done in zip(sizes, starts, dones):
+        assert start == t
+        t += transmission_time_ns(size, rate)
+        assert done == t
+
+
+def test_burst_times_ceil_rounding_accumulates_per_frame():
+    # 3 bytes at 7 bps: 24 bits -> ceil(24e9/7) = 3428571429 ns each.
+    # Summing ceils differs from ceiling the sum — the golden contract.
+    starts, dones = core.burst_times([3, 3], 7, 0)
+    per_frame = -(-24 * 1_000_000_000 // 7)
+    assert dones == [per_frame, 2 * per_frame]
+    assert starts == [0, per_frame]
+
+
+# ----------------------------------------------------------------------
+# Compiled-core loader
+# ----------------------------------------------------------------------
+def test_load_core_falls_back_to_pure_python():
+    loaded = load_core(True)
+    assert hasattr(loaded, "heap_pop_batch")
+    assert hasattr(loaded, "burst_times")
+    try:
+        import repro.sim._core_compiled  # noqa: F401
+    except ImportError:
+        assert loaded is core  # no compiled twin: pure module, quietly
+        assert core.COMPILED is False
+
+
+def test_load_core_plain_returns_pure_module():
+    assert load_core(False) is core

@@ -283,6 +283,104 @@ def test_golden_dumbbell_every_scheduler_backend(monkeypatch, backend):
     assert _digest(_port_state(net)) == "4b5cbc0840abe309"
 
 
+@pytest.mark.parametrize("batch", ["on", "off"])
+@pytest.mark.parametrize(
+    "backend", ["heap", "calendar", "wheel", "adaptive"]
+)
+def test_golden_dumbbell_batching_bit_identical(monkeypatch, backend, batch):
+    """Hot-loop batching (``REPRO_BATCH``, DESIGN.md §6h) changes *nothing*:
+    the kernel micro-batch dispatches in the exact (time, seq) order the
+    single-pop loop would, and the port TX burst chain consumes the same
+    seq numbers at the same times as the serial path — so every golden
+    constant holds with batching on or off, on every scheduler backend."""
+    monkeypatch.setenv("REPRO_BATCH", batch)
+    monkeypatch.setenv("REPRO_SCHEDULER", backend)
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    net = topo.network
+    assert net.burst_enabled == (batch == "on")
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    net.run_for(seconds(0.1))
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.delimiter_elected": 1,
+        "tfc.window_update": 731,
+    }
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+
+
+@pytest.mark.parametrize("batch", ["on", "off"])
+def test_golden_fig13_batching_bit_identical(monkeypatch, batch):
+    """The stochastic-workload golden cell (handshakes, timer churn, RNG
+    draws) is bit-identical with batching on or off."""
+    monkeypatch.setenv("REPRO_BATCH", batch)
+    topo = build_topology(build_testbed, "tfc", buffer_bytes=256_000, seed=0)
+    collector = FctCollector()
+    workload = BenchmarkWorkload(
+        topo.hosts,
+        "tfc",
+        duration_ns=seconds(0.25),
+        query_rate_per_s=200.0,
+        query_fanin=6,
+        short_rate_per_s=30.0,
+        background_rate_per_s=30.0,
+        min_rto_ns=200_000_000,
+        seed_name="benchmark:testbed:0",
+        collector=collector,
+    )
+    topo.network.run_for(seconds(0.5))
+    net = topo.network
+
+    assert net.sim.events_processed == 57510
+    assert workload.flows_launched == 373
+    assert collector.completed() == 373
+    assert dict(sorted(net.tracer.counters.items())) == {
+        "tfc.ack_delayed": 37,
+        "tfc.delimiter_elected": 338,
+        "tfc.window_update": 1014,
+        "transport.flow_complete": 373,
+    }
+    records = sorted(
+        (r.category, r.size_bytes, r.fct_ns, r.timeouts)
+        for r in collector.records
+    )
+    assert _digest([list(r) for r in records]) == "143d85e14736aa91"
+    assert _digest(_port_state(net)) == "3255488c8e6eca49"
+
+
+def test_golden_dumbbell_compiled_core_bit_identical(monkeypatch):
+    """``REPRO_COMPILED=on`` routes the hot loop through ``repro.sim.core``
+    (the compiled twin when built, the pure-Python module otherwise);
+    either way the golden constants must hold bit-identically."""
+    monkeypatch.setenv("REPRO_COMPILED", "on")
+    topo = build_topology(
+        dumbbell, "tfc", buffer_bytes=256_000, n_senders=4, seed=1
+    )
+    assert topo.sim._core is not None
+    senders = [open_flow(topo.host(i), topo.host(4), "tfc") for i in range(4)]
+    topo.network.run_for(seconds(0.1))
+    net = topo.network
+
+    assert net.sim.events_processed == 79280
+    assert net.sim.now == 100_000_000
+    assert [s.stats.bytes_acked for s in senders] == [
+        2_889_340,
+        2_887_880,
+        2_892_260,
+        2_887_880,
+    ]
+    assert _digest(_port_state(net)) == "4b5cbc0840abe309"
+
+
 @pytest.mark.parametrize("policy", ["single", "ecmp", "flowlet", "spray"])
 def test_golden_dumbbell_every_routing_policy(monkeypatch, policy):
     """The golden dumbbell constants hold bit-identically under every

@@ -57,6 +57,8 @@ def test_config_namespace_is_the_selection_surface():
         SCHEDULER_NAMES,
         TELEMETRY_MODES,
         SimConfig,
+        batch_mode,
+        compiled_mode,
         env,
         lossless_mode,
         routing_name,
@@ -71,10 +73,12 @@ def test_config_namespace_is_the_selection_surface():
     assert LOSSLESS_MODES == ("off", "pfc")
     assert set(KNOBS) == {
         "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
+        "batch", "compiled",
     }
     assert callable(env) and callable(scheduler_name)
     assert callable(routing_name) and callable(telemetry_mode)
     assert callable(telemetry_dir) and callable(lossless_mode)
+    assert callable(batch_mode) and callable(compiled_mode)
     assert SimConfig().seed == 0
 
 
