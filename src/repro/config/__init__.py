@@ -29,6 +29,7 @@ from .envvars import (
     LOSSLESS_MODES,
     ROUTING_ENV_VAR,
     SCHEDULER_ENV_VAR,
+    SHARDS_ENV_VAR,
     TELEMETRY_DIR_ENV_VAR,
     TELEMETRY_ENV_VAR,
     EnvKnob,
@@ -39,6 +40,7 @@ from .envvars import (
     lossless_mode,
     routing_name,
     scheduler_name,
+    shard_count,
     telemetry_dir,
     telemetry_mode,
 )
@@ -57,6 +59,7 @@ __all__ = [
     "lossless_mode",
     "batch_mode",
     "compiled_mode",
+    "shard_count",
     "SCHEDULER_NAMES",
     "ROUTING_NAMES",
     "TELEMETRY_MODES",
@@ -68,4 +71,5 @@ __all__ = [
     "LOSSLESS_ENV_VAR",
     "BATCH_ENV_VAR",
     "COMPILED_ENV_VAR",
+    "SHARDS_ENV_VAR",
 ]

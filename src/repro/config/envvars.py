@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple
 
 from ..obs.session import TELEMETRY_MODES
 from ..routing import ROUTING_NAMES
@@ -33,6 +33,7 @@ TELEMETRY_DIR_ENV_VAR = "REPRO_TELEMETRY_DIR"
 LOSSLESS_ENV_VAR = "REPRO_LOSSLESS"
 BATCH_ENV_VAR = "REPRO_BATCH"
 COMPILED_ENV_VAR = "REPRO_COMPILED"
+SHARDS_ENV_VAR = "REPRO_SHARDS"
 
 # Two-state switches share one value vocabulary.
 ONOFF: Tuple[str, ...] = ("on", "off")
@@ -43,14 +44,32 @@ ONOFF: Tuple[str, ...] = ("on", "off")
 LOSSLESS_MODES: Tuple[str, ...] = ("off", "pfc")
 
 
+def _positive_int(what: str) -> Callable[[str], str]:
+    """A checker for knobs whose value is a count, not a name."""
+
+    def check(value: str) -> str:
+        try:
+            ok = int(value) >= 1
+        except ValueError:
+            ok = False
+        if not ok:
+            raise ValueError(
+                f"invalid {what} {value!r}; expected a positive integer"
+            )
+        return value
+
+    return check
+
+
 @dataclass(frozen=True)
 class EnvKnob:
     """One validated environment variable."""
 
     var: str
     default: str
-    names: Optional[Tuple[str, ...]]  # None: free-form (paths)
+    names: Optional[Tuple[str, ...]]  # None: free-form (paths) or checked
     what: str  # noun for error messages: "scheduler backend", ...
+    check: Optional[Callable[[str], str]] = None  # non-vocabulary validation
 
     def validate(self, value: str) -> str:
         if self.names is not None and value not in self.names:
@@ -58,6 +77,8 @@ class EnvKnob:
                 f"unknown {self.what} {value!r}; "
                 f"choose from {', '.join(self.names)}"
             )
+        if self.check is not None:
+            return self.check(value)
         return value
 
 
@@ -83,6 +104,13 @@ KNOBS: Dict[str, EnvKnob] = {
     ),
     "compiled": EnvKnob(
         COMPILED_ENV_VAR, "off", ONOFF, "compiled kernel core mode"
+    ),
+    "shards": EnvKnob(
+        SHARDS_ENV_VAR,
+        "",  # unset: serial, single-simulator runs
+        None,
+        "shard count",
+        check=_positive_int("shard count"),
     ),
 }
 
@@ -135,6 +163,12 @@ def compiled_mode() -> str:
     return current("compiled")
 
 
+def shard_count() -> Optional[int]:
+    """Requested shard count, or None for serial (the default)."""
+    value = current("shards")
+    return int(value) if value else None
+
+
 class _EnvContext:
     """Pin a set of (var, value) pairs; restore previous values on exit."""
 
@@ -167,6 +201,7 @@ def env(
     lossless: Optional[str] = None,
     batch: Optional[str] = None,
     compiled: Optional[str] = None,
+    shards: Optional[str] = None,
 ) -> _EnvContext:
     """Pin any subset of the ``REPRO_*`` knobs while a block runs.
 
@@ -184,6 +219,7 @@ def env(
         "lossless": lossless,
         "batch": batch,
         "compiled": compiled,
+        "shards": shards,
     }
     pins: Dict[str, str] = {}
     for knob, value in requested.items():

@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Optional
 
-from .envvars import KNOBS, current, env as _env
+from .envvars import KNOBS, current, env as _env, shard_count
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,9 @@ class SimConfig:
     lossless: Optional[str] = None
     batch: Optional[str] = None
     compiled: Optional[str] = None
+    #: Shard count for single-simulation parallelism (repro.sim.shard);
+    #: None = serial.  Carried as an int; exported as ``REPRO_SHARDS``.
+    shards: Optional[int] = None
 
     def __post_init__(self) -> None:
         for knob in (
@@ -52,6 +55,8 @@ class SimConfig:
             value = getattr(self, knob)
             if value is not None:
                 KNOBS[knob].validate(value)
+        if self.shards is not None:
+            KNOBS["shards"].validate(str(self.shards))
         if self.transport is not None:
             from ..transport.registry import get_protocol
 
@@ -71,6 +76,7 @@ class SimConfig:
             lossless=current("lossless"),
             batch=current("batch"),
             compiled=current("compiled"),
+            shards=shard_count(),
         )
 
     def with_overrides(self, **changes) -> "SimConfig":
@@ -92,6 +98,7 @@ class SimConfig:
             lossless=self.lossless,
             batch=self.batch,
             compiled=self.compiled,
+            shards=None if self.shards is None else str(self.shards),
         )
 
     @property

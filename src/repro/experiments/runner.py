@@ -48,6 +48,7 @@ from .multipath_benchmark import run_multipath_cell
 from .pfc_pathology import FABRICS as PFC_FABRICS
 from .pfc_pathology import SCENARIOS as PFC_SCENARIOS
 from .pfc_pathology import run_pathology_cell
+from .shard_scale import run_shard_cell
 
 CellFn = Callable[..., ExperimentResult]
 
@@ -65,6 +66,7 @@ FIGURE_CELLS: Dict[str, CellFn] = {
     "ecmp": run_collision_cell,
     "mpath": run_multipath_cell,
     "pfc": run_pathology_cell,
+    "shard": run_shard_cell,
 }
 
 #: Routing policies swept by the multi-path default plans.
@@ -159,6 +161,7 @@ def run_cells(
     telemetry_dir: Optional[str] = None,
     config: Optional[SimConfig] = None,
     cell_timeout: Optional[float] = None,
+    shards: Optional[int] = None,
 ) -> List[ExperimentResult]:
     """Run every cell and return results in the order specs were given.
 
@@ -195,6 +198,7 @@ def run_cells(
             telemetry=telemetry
             or ("full" if telemetry_dir is not None else None),
             telemetry_dir=telemetry_dir,
+            shards=shards,
         )
     resolved = [spec.resolved(config.seed) for spec in specs]
     with config.env():
@@ -545,6 +549,21 @@ def default_plan(
                             },
                         )
                     )
+        elif figure == "shard":
+            # Sharded-vs-serial head-to-head: one cell runs both on the
+            # same seed and workload, reporting speedup and a live
+            # bit-identity check.  Shard count follows --shards /
+            # $REPRO_SHARDS (default: 2 pod shards + the core shard).
+            specs.append(
+                CellSpec(
+                    "shard",
+                    {
+                        "mode": "both",
+                        "k": 4 if quick else 8,
+                        "duration_ms": 1.0 if quick else 4.0,
+                    },
+                )
+            )
         else:
             raise RunnerError(
                 f"no default plan for {figure!r}; "
@@ -618,6 +637,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "metrics/slot-timeline/flight files into DIR",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="pin the shard count for shard-aware cells (exported as "
+        "$REPRO_SHARDS for the batch; default: serial, or $REPRO_SHARDS "
+        "if set)",
+    )
+    parser.add_argument(
         "--cell-timeout",
         metavar="SECONDS",
         type=float,
@@ -629,6 +656,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.cell_timeout is not None and args.cell_timeout <= 0:
         parser.error("--cell-timeout must be positive")
+    if args.shards is not None and args.shards < 1:
+        parser.error("--shards must be a positive integer")
 
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
     specs = default_plan(args.figures, quick=args.quick)
@@ -638,6 +667,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         + (f" scheduler={args.scheduler}" if args.scheduler else "")
         + (f" routing={args.routing}" if args.routing else "")
         + (f" telemetry={args.telemetry}" if args.telemetry else "")
+        + (f" shards={args.shards}" if args.shards else "")
         + (
             f" cell-timeout={args.cell_timeout:g}s"
             if args.cell_timeout
@@ -654,6 +684,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         profile_dir=args.profile,
         telemetry_dir=args.telemetry,
         cell_timeout=args.cell_timeout,
+        shards=args.shards,
     )
     elapsed = time.perf_counter() - start
 

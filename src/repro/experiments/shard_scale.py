@@ -1,0 +1,155 @@
+"""Sharded-vs-serial scaling cells (the ``shard`` runner figure).
+
+One cell runs the canonical pod-traffic workload
+(:mod:`repro.sim.shard.workload`) on a fat tree either serially (one
+Simulator — the ground truth the equivalence tests pin) or sharded
+across pod partitions with the conservative-lookahead coordinator.  The
+pair of cells is the speedup measurement: identical workload, identical
+results (bit-identical merged fingerprints), different wall-clock.
+
+``pod_shards=None`` defers to the validated ``REPRO_SHARDS`` knob (the
+runner's ``--shards`` flag pins it for a whole batch), falling back to
+2 — the smallest honest split.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import shard_count
+from ..sim.shard import (
+    ShardSpec,
+    plan_fat_tree,
+    run_serial_reference,
+    run_sharded,
+)
+from ..sim.shard.workload import build_pod_traffic, collect_pod_traffic
+from ..sim.units import MILLISECOND
+from .common import ExperimentResult
+
+
+def run_shard_cell(
+    mode: str = "sharded",
+    k: int = 4,
+    pod_shards: Optional[int] = None,
+    flows_per_pod: int = 2,
+    duration_ms: float = 4.0,
+    seed: int = 0,
+    protocol: str = "tfc",
+    exec_mode: str = "auto",
+) -> ExperimentResult:
+    """Run the pod-traffic workload, sharded or serial.
+
+    Scalars: ``events`` (simulator events processed; the sharded count
+    includes boundary capture/injection overhead), ``wall_s``,
+    ``events_per_sec``, ``goodput_bps`` (sum over receivers), plus —
+    for sharded runs — ``shards`` (total, pods + core), ``epochs`` and
+    ``messages`` from the coordinator.
+
+    ``mode="both"`` runs the serial reference *and* the sharded run on
+    the same spec (same seed, same workload) in one cell and reports the
+    head-to-head: ``speedup`` (serial wall / sharded wall) and ``match``
+    (1.0 when the merged sharded metrics equal the serial metrics
+    bit-for-bit — the live equivalence check).
+    """
+    if mode == "both":
+        return _run_head_to_head(
+            k, pod_shards, flows_per_pod, duration_ms, seed, protocol,
+            exec_mode,
+        )
+    if mode not in ("sharded", "serial"):
+        raise ValueError(f"unknown shard cell mode {mode!r}")
+    if pod_shards is None:
+        pod_shards = shard_count() or 2
+    end_ns = int(duration_ms * MILLISECOND)
+    plan = plan_fat_tree(k=k, pod_shards=pod_shards)
+    spec = ShardSpec(
+        plan=plan,
+        build=build_pod_traffic,
+        collect=collect_pod_traffic,
+        end_ns=end_ns,
+        root_seed=seed,
+        build_kwargs={
+            "k": k,
+            "protocol": protocol,
+            "flows_per_pod": flows_per_pod,
+        },
+    )
+    scalars = {"sharded": 0.0, "duration_ms": float(duration_ms)}
+    if mode == "serial":
+        outcome = run_serial_reference(spec)
+        metrics = outcome.metrics
+        scalars["events"] = float(outcome.events)
+        scalars["wall_s"] = outcome.wall_s
+    else:
+        result = run_sharded(spec, mode=exec_mode)
+        metrics = result.merged()
+        scalars["sharded"] = 1.0
+        scalars["events"] = float(result.events)
+        scalars["wall_s"] = result.wall_s
+        scalars["shards"] = float(result.shards)
+        scalars["epochs"] = float(result.epochs)
+        scalars["messages"] = float(result.messages)
+    scalars["events_per_sec"] = (
+        scalars["events"] / scalars["wall_s"] if scalars["wall_s"] > 0 else 0.0
+    )
+    rx_bytes = sum(
+        value[0] for key, value in metrics.items() if key.endswith(":rx")
+    )
+    scalars["goodput_bps"] = rx_bytes * 8 / (end_ns / 1e9)
+    return ExperimentResult(
+        name=f"shard_{mode}", protocol=protocol, scalars=scalars
+    )
+
+
+def _run_head_to_head(
+    k: int,
+    pod_shards: Optional[int],
+    flows_per_pod: int,
+    duration_ms: float,
+    seed: int,
+    protocol: str,
+    exec_mode: str,
+) -> ExperimentResult:
+    """Serial reference and sharded run on one spec, compared live."""
+    if pod_shards is None:
+        pod_shards = shard_count() or 2
+    end_ns = int(duration_ms * MILLISECOND)
+    plan = plan_fat_tree(k=k, pod_shards=pod_shards)
+    spec = ShardSpec(
+        plan=plan,
+        build=build_pod_traffic,
+        collect=collect_pod_traffic,
+        end_ns=end_ns,
+        root_seed=seed,
+        build_kwargs={
+            "k": k,
+            "protocol": protocol,
+            "flows_per_pod": flows_per_pod,
+        },
+    )
+    serial = run_serial_reference(spec)
+    sharded = run_sharded(spec, mode=exec_mode)
+    rx_bytes = sum(
+        value[0]
+        for key, value in serial.metrics.items()
+        if key.endswith(":rx")
+    )
+    scalars = {
+        "speedup": (
+            serial.wall_s / sharded.wall_s if sharded.wall_s > 0 else 0.0
+        ),
+        "match": 1.0 if sharded.merged() == serial.metrics else 0.0,
+        "shards": float(sharded.shards),
+        "serial_wall_s": serial.wall_s,
+        "sharded_wall_s": sharded.wall_s,
+        "serial_events": float(serial.events),
+        "sharded_events": float(sharded.events),
+        "epochs": float(sharded.epochs),
+        "messages": float(sharded.messages),
+        "duration_ms": float(duration_ms),
+        "goodput_bps": rx_bytes * 8 / (end_ns / 1e9),
+    }
+    return ExperimentResult(
+        name="shard_both", protocol=protocol, scalars=scalars
+    )

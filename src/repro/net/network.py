@@ -263,6 +263,13 @@ class Network:
                 return host
         raise KeyError(f"no host named {name}")
 
+    def node_by_name(self, name: str) -> Node:
+        """Look up any node (host or switch) by its builder-assigned name."""
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise KeyError(f"no node named {name}")
+
     def total_drops(self) -> int:
         """Sum of drop-tail losses across every port in the network."""
         return sum(

@@ -101,6 +101,7 @@ def run_kernel_suite(
     duration_scale: float = 1.0,
     schedulers: Optional[Sequence[str]] = DEFAULT_SCHEDULERS,
     variants: Sequence[str] = (),
+    workloads: Optional[Sequence[str]] = None,
 ) -> List[Dict[str, float]]:
     """Best-of-``repeats`` events/sec for every pinned kernel workload.
 
@@ -116,13 +117,34 @@ def run_kernel_suite(
     Each variant cell runs immediately after its workload's lead-backend
     plain cell: the pair is the comparison readers make, so it must not
     straddle minutes of machine drift.
+
+    Workloads that declare ``lead_only`` (the sharded-fabric twins)
+    measure on the lead backend only and skip the variant dimension:
+    they compare against their serial/sharded twin, not across backends.
+    ``workloads`` filters the suite to the named subset (unknown names
+    raise, so a CI filter cannot silently measure nothing).
     """
+    if workloads is not None:
+        wanted = set(workloads)
+        known = {w.name for w in KERNEL_WORKLOADS}
+        unknown = wanted - known
+        if unknown:
+            raise ValueError(
+                f"unknown kernel workload(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        pool = [w for w in KERNEL_WORKLOADS if w.name in wanted]
+    else:
+        pool = list(KERNEL_WORKLOADS)
     sched_list = list(schedulers or (None,))
     cells: List[tuple] = []
-    for workload in KERNEL_WORKLOADS:
+    for workload in pool:
+        lead_only = getattr(workload, "lead_only", False)
         for sched in sched_list:
+            if lead_only and sched != sched_list[0]:
+                continue
             cells.append((workload, sched, None))
-            if sched == sched_list[0]:
+            if sched == sched_list[0] and not lead_only:
                 cells.extend(
                     (workload, sched, variant)
                     for variant in variants
@@ -227,6 +249,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ),
     )
     parser.add_argument(
+        "--workloads",
+        default=None,
+        help=(
+            "comma-separated workload names to measure (kernel kind "
+            "only; default: all pinned workloads).  Unknown names are "
+            "an error."
+        ),
+    )
+    parser.add_argument(
         "--quick",
         action="store_true",
         help=(
@@ -252,9 +283,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "(not baseline-comparable)"
         )
 
+    workload_filter = None
+    if args.workloads:
+        workload_filter = [w for w in args.workloads.split(",") if w.strip()]
+
     if args.kind == "kernel":
         results = run_kernel_suite(
-            args.repeats, args.duration_scale, schedulers, variants
+            args.repeats,
+            args.duration_scale,
+            schedulers,
+            variants,
+            workloads=workload_filter,
         )
         metric = "events_per_sec"
     else:

@@ -109,6 +109,30 @@ class FabricWorkload:
 
 
 @dataclass(frozen=True)
+class ShardedFabricWorkload:
+    """Pod-traffic on a fat tree, run serial or pod-sharded.
+
+    The serial/sharded twin rows are the pinned speedup measurement for
+    ``repro.sim.shard``: the same workload (same seed, bit-identical
+    results — pinned by tests/shard) run once on one Simulator and once
+    across ``pod_shards`` pod partitions plus the core shard with the
+    conservative-lookahead coordinator.  ``pod_shards=0`` is the serial
+    reference.  ``lead_only`` keeps the suite from multiplying these
+    (comparatively slow) rows across every scheduler backend — the
+    shard/serial ratio, not the backend, is what the row measures.
+    """
+
+    name: str
+    protocol: str
+    k: int
+    pod_shards: int  # 0 = serial reference (one Simulator)
+    flows_per_pod: int
+    seed: int
+    duration_s: float
+    lead_only: bool = True
+
+
+@dataclass(frozen=True)
 class TelemetryWorkload:
     """A kernel dumbbell run with a telemetry session attached.
 
@@ -140,7 +164,11 @@ class ExperimentWorkload:
 
 
 AnyKernelWorkload = Union[
-    KernelWorkload, TimerChurnWorkload, FabricWorkload, TelemetryWorkload
+    KernelWorkload,
+    TimerChurnWorkload,
+    FabricWorkload,
+    TelemetryWorkload,
+    ShardedFabricWorkload,
 ]
 
 KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
@@ -151,6 +179,8 @@ KERNEL_WORKLOADS: Tuple[AnyKernelWorkload, ...] = (
     TimerChurnWorkload("timer_churn_32k", 32768, 0.0006),
     FabricWorkload("fattree4_tfc_spray_8", "tfc", "spray", 4, 8, 4, 0.05),
     TelemetryWorkload("dumbbell_tfc_4_telemetry", "tfc", 4, 1, 0.4),
+    ShardedFabricWorkload("fattree8_tfc_serial", "tfc", 8, 0, 4, 5, 0.004),
+    ShardedFabricWorkload("fattree8_tfc_sharded4", "tfc", 8, 4, 4, 5, 0.004),
 )
 
 EXPERIMENT_WORKLOADS: Tuple[ExperimentWorkload, ...] = (
@@ -209,6 +239,10 @@ def run_kernel_workload(
         return run_fabric_workload(workload, duration_scale, scheduler, variant)
     if isinstance(workload, TelemetryWorkload):
         return run_telemetry_workload(
+            workload, duration_scale, scheduler, variant
+        )
+    if isinstance(workload, ShardedFabricWorkload):
+        return run_sharded_fabric_workload(
             workload, duration_scale, scheduler, variant
         )
     with config_env(scheduler=scheduler, **_variant_env(variant)):
@@ -372,6 +406,68 @@ def run_fabric_workload(
         "events": events,
         "wall_s": wall,
         "events_per_sec": events / wall if wall > 0 else 0.0,
+    }
+    _annotate_variant(row, variant)
+    return row
+
+
+def run_sharded_fabric_workload(
+    workload: ShardedFabricWorkload,
+    duration_scale: float = 1.0,
+    scheduler: Optional[str] = None,
+    variant: Optional[str] = None,
+) -> Dict[str, float]:
+    """Run one sharded-fabric workload (serial when ``pod_shards == 0``).
+
+    Wall-clock covers the whole run including coordination (worker
+    startup, epoch barriers, message exchange), so the serial/sharded
+    events-per-second ratio is the honest end-to-end speedup, not a
+    per-shard number.
+    """
+    from ..sim.shard import (
+        ShardSpec,
+        plan_fat_tree,
+        run_serial_reference,
+        run_sharded,
+    )
+    from ..sim.shard.workload import build_pod_traffic, collect_pod_traffic
+
+    plan = plan_fat_tree(k=workload.k, pod_shards=max(workload.pod_shards, 1))
+    spec = ShardSpec(
+        plan=plan,
+        build=build_pod_traffic,
+        collect=collect_pod_traffic,
+        end_ns=seconds(workload.duration_s * duration_scale),
+        root_seed=workload.seed,
+        build_kwargs={
+            "k": workload.k,
+            "protocol": workload.protocol,
+            "flows_per_pod": workload.flows_per_pod,
+        },
+    )
+    with config_env(scheduler=scheduler, **_variant_env(variant)):
+        if workload.pod_shards == 0:
+            outcome = run_serial_reference(spec)
+            events, wall = outcome.events, outcome.wall_s
+            extra: Dict[str, float] = {"shards": 0}
+        else:
+            result = run_sharded(spec)
+            events, wall = result.events, result.wall_s
+            extra = {
+                "shards": result.shards,
+                "epochs": result.epochs,
+                "messages": result.messages,
+                "exec_mode": result.mode,
+            }
+    row = {
+        "name": _row_name(workload.name, scheduler, variant),
+        "workload": workload.name,
+        "scheduler": scheduler or "adaptive",
+        "protocol": workload.protocol,
+        "events": events,
+        "wall_s": wall,
+        "events_per_sec": events / wall if wall > 0 else 0.0,
+        **extra,
     }
     _annotate_variant(row, variant)
     return row

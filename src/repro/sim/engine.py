@@ -317,6 +317,18 @@ class Simulator:
         reports whichever side of the switch it is on)."""
         return self._sched.name
 
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest pending live event, or None when drained.
+
+        Non-destructive: delegates to the active backend's
+        :meth:`~repro.sim.sched.base.Scheduler.peek_time` (the adaptive
+        policy reports through whichever backend currently holds the
+        population).  The shard coordinator uses this between
+        horizon-bounded :meth:`run` calls to compute the next
+        conservative epoch.
+        """
+        return self._sched.peek_time()
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -118,6 +118,24 @@ class Scheduler:
         """Time of the earliest live event, or None when empty."""
         raise NotImplementedError
 
+    def peek_time(self) -> Optional[int]:
+        """Non-destructive probe: earliest live event time, or None.
+
+        The contract (enforced by the cross-backend differential test in
+        :mod:`tests.sim.test_sched_backends`) is that peeking never pops,
+        reorders, or loses entries — an arbitrary number of peeks between
+        two pops must leave pop order bit-identical.  The shard
+        coordinator (:mod:`repro.sim.shard`) calls this once per barrier
+        epoch to compute the conservative horizon, so it may be O(live
+        population) but must not perturb state.
+
+        The default delegates to :meth:`next_live_time`, which every
+        backend already implements non-destructively (freed dead entries
+        do not count as perturbation — they were unobservable).  Backends
+        with a cheap head cache may override with a fast path.
+        """
+        return self.next_live_time()
+
     def compact(self) -> None:
         """Sweep dead entries out of the store (order-preserving)."""
         raise NotImplementedError

@@ -148,6 +148,18 @@ class CalendarScheduler(Scheduler):
         self._hot_top = 0  # floor moved back; the hot cache is stale
         return event.time
 
+    def peek_time(self) -> Optional[int]:
+        # Fast path via the hot-pop cache: while the floor bucket's tail
+        # entry is live with time < _hot_top it is the global minimum, so
+        # no year scan (and no floor save/restore dance) is needed.
+        bucket = self._hot_bucket
+        top = self._hot_top
+        if top and bucket:
+            key = bucket[-1]
+            if not key[2].cancelled and -key[0] < top:
+                return -key[0]
+        return self.next_live_time()
+
     # ------------------------------------------------------------------
     def _min_stored_time(self) -> Optional[int]:
         """Global minimum live time across all buckets (frees tail dead)."""

@@ -1,0 +1,62 @@
+"""Sharded single-simulation parallelism (conservative PDES).
+
+Partition a fat-tree by pod — plus one shard for the core layer —
+across worker processes, each running its own :class:`Simulator` with
+its existing :class:`Scheduler` backend.  Synchronization is classic
+conservative lookahead: the inter-shard (aggregation <-> core) link
+propagation delay is the lookahead window, and shards advance in
+barrier epochs bounded by ``min(all shards' next event times) +
+lookahead``.  Cross-shard frames — data packets, TFC token/window
+updates, PFC pause frames — travel as timestamped messages exchanged at
+each barrier.
+
+Quickstart::
+
+    from repro.sim.shard import (
+        ShardSpec, plan_fat_tree, run_sharded, run_serial_reference,
+    )
+    from repro.sim.shard.workload import build_pod_traffic, collect_pod_traffic
+
+    plan = plan_fat_tree(k=4, pod_shards=2)
+    spec = ShardSpec(
+        plan=plan,
+        build=build_pod_traffic,
+        collect=collect_pod_traffic,
+        end_ns=4_000_000,
+        root_seed=7,
+        build_kwargs={"k": 4, "protocol": "tfc"},
+    )
+    sharded = run_sharded(spec)           # multiprocessing, inline fallback
+    serial = run_serial_reference(spec)   # same workload, one Simulator
+    assert sharded.merged() == serial.metrics
+
+Design notes, the lookahead proof sketch and the tie-order caveat live
+in DESIGN.md §6i.
+"""
+
+from .partition import ShardContext, ShardError, ShardPlan, plan_fat_tree, shard_seed
+from .boundary import BoundaryCapture, attach_shard
+from .flows import open_shard_flow
+from .runner import (
+    SerialResult,
+    ShardSpec,
+    ShardedResult,
+    run_serial_reference,
+    run_sharded,
+)
+
+__all__ = [
+    "BoundaryCapture",
+    "SerialResult",
+    "ShardContext",
+    "ShardError",
+    "ShardPlan",
+    "ShardSpec",
+    "ShardedResult",
+    "attach_shard",
+    "open_shard_flow",
+    "plan_fat_tree",
+    "run_serial_reference",
+    "run_sharded",
+    "shard_seed",
+]

@@ -1,0 +1,107 @@
+"""Boundary-link capture: turn cross-shard delivery into messages.
+
+Every shard builds the *full* topology (identical node ids and RNG
+streams everywhere — construction is cheap next to event processing),
+then :func:`attach_shard` rewires each link leaving an owned node for a
+foreign one: the link's ``dst_node`` becomes a :class:`BoundaryCapture`
+proxy and its ``delay_ns`` drops to zero.  Both the port TX paths and
+``Link.carry`` (PFC pause frames) deliver through
+``schedule(link.delay_ns, link.dst_node.receive, packet, index)``, so
+the capture fires at *send completion* — exactly when the serial run
+would have committed the delivery — and records the frame with its true
+arrival time ``now + real_delay``.
+
+The proxy delegates every other attribute to the real destination node
+(which exists locally, since the full topology is built), so runtime
+readers like the PFC layer's ``via_port.peer_node.name`` /
+``peer_tx_port`` keep working across the boundary.  Injection on the
+destination shard is simply ``schedule_at(arrival, node.receive,
+packet, dst_port_index)`` — one hop was already counted at capture, and
+``receive`` is the same entry point a local link delivery uses, so PFC
+pause frames still bypass the data queues.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .partition import ShardError, ShardPlan
+
+#: A captured cross-shard frame: (arrival_ns, dst_shard, dst_node_id,
+#: dst_port_index, packet).  Arrival is absolute simulation time.
+Message = Tuple[int, int, int, int, object]
+
+
+class BoundaryCapture:
+    """Stand-in for a foreign ``link.dst_node``: records, never delivers."""
+
+    __slots__ = ("_sim", "_target", "_dst_shard", "_delay_ns", "_outbox")
+
+    def __init__(self, sim, target, dst_shard: int, delay_ns: int, outbox):
+        self._sim = sim
+        self._target = target
+        self._dst_shard = dst_shard
+        self._delay_ns = delay_ns
+        self._outbox = outbox
+
+    def receive(self, packet, in_port_index: int) -> None:
+        # In-flight packets never carry a live ingress charge (the PFC
+        # fabric nulls it at dequeue), but sanitize anyway: the reference
+        # must not cross the process boundary.
+        if packet.pfc_ingress is not None:
+            packet.pfc_ingress = None
+        self._outbox.append(
+            (
+                self._sim.now + self._delay_ns,
+                self._dst_shard,
+                self._target.node_id,
+                in_port_index,
+                packet,
+            )
+        )
+
+    def __getattr__(self, name):
+        # Everything except receive() behaves like the real neighbour.
+        return getattr(self._target, name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<BoundaryCapture -> {self._target!r}>"
+
+
+def attach_shard(topology, plan: ShardPlan, shard_id: int, outbox: List[Message]) -> int:
+    """Proxy every owned->foreign link on ``topology``; return the count.
+
+    Also validates the plan against the built fabric: every node must be
+    covered, and every boundary link's propagation delay must be at
+    least the plan's lookahead (the conservative-sync safety condition).
+    """
+    net = topology.network
+    sim = net.sim
+    wrapped = 0
+    for node in net.nodes:
+        if plan.owner_of(node.name) != shard_id:
+            continue
+        for port in node.ports:
+            link = port.link
+            target = link.dst_node
+            dst_shard = plan.owner_of(target.name)
+            if dst_shard == shard_id:
+                continue
+            if link.delay_ns < plan.lookahead_ns:
+                raise ShardError(
+                    f"boundary link {node.name}->{target.name} has delay "
+                    f"{link.delay_ns} ns < lookahead {plan.lookahead_ns} ns"
+                )
+            link.dst_node = BoundaryCapture(
+                sim, target, dst_shard, link.delay_ns, outbox
+            )
+            link.delay_ns = 0
+            wrapped += 1
+    if wrapped == 0:
+        # Every shard of a fat tree borders the rest of the fabric (pods
+        # via their aggregation uplinks, the core via every downlink).
+        raise ShardError(
+            f"shard {shard_id} owns no boundary links — partition and "
+            "topology disagree"
+        )
+    return wrapped

@@ -1,0 +1,84 @@
+"""Shard-aware flow installation.
+
+``open_flow`` creates a sender and a receiver together; on a shard that
+owns only one end of a flow, instantiating the other half would make an
+unowned host transmit.  :func:`open_shard_flow` splits the two, with
+one invariant that keeps every shard's state bit-identical to the
+serial build: **port allocation always happens on both hosts in every
+shard**, in the same global installation order, so each host's
+``allocate_port`` counter advances identically everywhere and the
+(sport, dport) pair of every flow is the same in every process.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ...sim.units import MILLISECOND
+from .partition import ShardContext
+
+
+def open_shard_flow(
+    ctx: ShardContext,
+    src,
+    dst,
+    protocol: str = "tfc",
+    size_bytes: Optional[int] = None,
+    start_ns: Optional[int] = None,
+    on_complete=None,
+    min_rto_ns: int = 10 * MILLISECOND,
+    awnd_bytes: Optional[int] = None,
+    weight: Optional[float] = None,
+) -> Tuple[Optional[object], Optional[object]]:
+    """Open ``src -> dst`` on whichever ends this shard owns.
+
+    Mirrors ``repro.transport.registry.open_flow`` (same defaults, same
+    sender/receiver classes) and returns ``(sender, receiver)`` where
+    either may be None on a shard that owns only the other end.  A
+    serial context (``ctx.shard_id is None``) owns both and reproduces
+    ``open_flow`` exactly, back-reference included.
+
+    Call this in the *same order* in every shard — the port-counter
+    alignment invariant above is what makes cross-shard flow keys agree.
+    """
+    from ...transport.registry import get_protocol
+
+    spec = get_protocol(protocol)
+    sport = src.allocate_port()
+    dport = dst.allocate_port()
+    owns_src = ctx.owns(src.name)
+    owns_dst = ctx.owns(dst.name)
+    common = {} if awnd_bytes is None else {"awnd_bytes": awnd_bytes}
+
+    sender = None
+    if owns_src:
+        sender_kwargs = dict(common)
+        if weight is not None:
+            if not spec.needs_tfc_switches:
+                raise ValueError("weighted allocation is a TFC feature")
+            sender_kwargs["weight"] = weight
+        sender = spec.sender_cls(
+            src,
+            dst.node_id,
+            dport,
+            size_bytes=size_bytes,
+            sport=sport,
+            min_rto_ns=min_rto_ns,
+            on_complete=on_complete,
+            **sender_kwargs,
+        )
+
+    receiver = None
+    if owns_dst:
+        flow_key = (src.node_id, dst.node_id, sport, dport)
+        receiver = spec.receiver_cls(dst, flow_key, **common)
+
+    if sender is not None and receiver is not None:
+        sender.receiver = receiver  # tests-only convenience, as open_flow
+
+    if sender is not None:
+        if start_ns is None or start_ns <= src.sim.now:
+            sender.start()
+        else:
+            src.sim.schedule_at(start_ns, sender.start)
+    return sender, receiver

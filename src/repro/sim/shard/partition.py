@@ -1,0 +1,223 @@
+"""Partition plans: who owns which nodes, and the lookahead window.
+
+A :class:`ShardPlan` is a pure, picklable description of the partition —
+node *names* grouped into pod shards plus one core shard — so the
+coordinator never has to build a topology and every worker can derive
+the identical plan independently.  :func:`plan_fat_tree` mirrors the
+naming convention of :func:`repro.net.topology.fat_tree` (``A<pod>_<j>``
+/ ``E<pod>_<j>`` / ``H<n>`` / ``C<group>_<i>``); a test pins the two
+against each other so they cannot drift.
+
+Seeding: per-shard child seeds reuse the runner's ``derive_cell_seed``
+identity hash, keyed by *pod identity* (e.g. ``("pod", 3)``) rather than
+by shard id — regrouping pods across different shard counts therefore
+never changes a seed, which is what makes any ``--shards`` value
+bit-deterministic (same property the parallel runner pins for
+``--jobs``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+from typing import Dict, Optional, Tuple
+
+
+class ShardError(Exception):
+    """A partition plan and a topology (or runtime) disagree."""
+
+
+def shard_seed(root_seed: int, *labels) -> int:
+    """Child seed for a shard-local random stream, by stable identity.
+
+    Reuses the experiment runner's ``derive_cell_seed`` hash with a
+    ``shard`` namespace prefix so shard streams can never collide with
+    runner cell streams drawn from the same root.
+    """
+    # Imported lazily: sim.* is the bottom layer and must not pull the
+    # experiment drivers in at import time.
+    from ...experiments.common import derive_cell_seed
+
+    return derive_cell_seed(root_seed, "shard", *labels)
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Node-name partition of a fabric into pod shards + one core shard.
+
+    ``pods[p]`` lists every node name of pod ``p`` (aggregation and edge
+    switches plus hosts); ``core`` lists the core-layer switches.  Pod
+    ``p`` is owned by shard ``pod_to_shard[p]``; the core shard is the
+    last shard id (:attr:`core_shard`).  ``lookahead_ns`` must be a
+    lower bound on every boundary link's propagation delay — the
+    conservative-sync window (validated against the real links by
+    :func:`repro.sim.shard.boundary.attach_shard`).
+    """
+
+    pods: Tuple[Tuple[str, ...], ...]
+    core: Tuple[str, ...]
+    pod_to_shard: Tuple[int, ...]
+    lookahead_ns: int
+
+    def __post_init__(self) -> None:
+        if self.lookahead_ns < 1:
+            raise ShardError(
+                f"lookahead must be >= 1 ns, got {self.lookahead_ns}"
+            )
+        if len(self.pod_to_shard) != len(self.pods):
+            raise ShardError("pod_to_shard must map every pod")
+        if self.pods and sorted(set(self.pod_to_shard)) != list(
+            range(max(self.pod_to_shard) + 1)
+        ):
+            raise ShardError("pod shard ids must be contiguous from 0")
+
+    # ------------------------------------------------------------------
+    @property
+    def pod_shards(self) -> int:
+        """Number of shards holding pods (the core shard is extra)."""
+        return max(self.pod_to_shard) + 1 if self.pod_to_shard else 0
+
+    @property
+    def core_shard(self) -> int:
+        """Shard id of the core layer (always the last shard)."""
+        return self.pod_shards
+
+    @property
+    def total_shards(self) -> int:
+        return self.pod_shards + 1
+
+    def owner_of(self, name: str) -> int:
+        """Owning shard id for a node name (raises on unknown names)."""
+        try:
+            return self._owner_map[name]
+        except KeyError:
+            raise ShardError(f"node {name!r} is not covered by the plan")
+
+    @cached_property
+    def _owner_map(self) -> Dict[str, int]:
+        owner: Dict[str, int] = {}
+        for pod, members in enumerate(self.pods):
+            for name in members:
+                owner[name] = self.pod_to_shard[pod]
+        for name in self.core:
+            owner[name] = self.core_shard
+        return owner
+
+    def members_of(self, shard_id: int) -> Tuple[str, ...]:
+        """Every node name owned by ``shard_id`` (plan order)."""
+        if shard_id == self.core_shard:
+            return self.core
+        return tuple(
+            name
+            for pod, members in enumerate(self.pods)
+            if self.pod_to_shard[pod] == shard_id
+            for name in members
+        )
+
+    def pods_of(self, shard_id: int) -> Tuple[int, ...]:
+        """Pod indices owned by ``shard_id`` (empty for the core shard)."""
+        return tuple(
+            pod
+            for pod, shard in enumerate(self.pod_to_shard)
+            if shard == shard_id
+        )
+
+
+def plan_fat_tree(
+    k: int = 4,
+    pod_shards: int = 2,
+    lookahead_ns: Optional[int] = None,
+) -> ShardPlan:
+    """Partition a k-ary fat tree into ``pod_shards`` pod shards + core.
+
+    Pods are grouped into contiguous blocks (pod ``p`` goes to shard
+    ``p * pod_shards // k``), so ``pod_shards=k`` is one pod per shard
+    and ``pod_shards=1`` is the minimal two-shard split.  The default
+    lookahead matches the fat-tree builder's default 5 us link delay;
+    pass the builder's ``link_delay_ns`` when overriding it.
+    """
+    if k < 2 or k % 2:
+        raise ShardError(f"fat tree arity must be even and >= 2, got {k}")
+    if not 1 <= pod_shards <= k:
+        raise ShardError(
+            f"pod_shards must be in [1, {k}] for fat_tree({k}), "
+            f"got {pod_shards}"
+        )
+    if lookahead_ns is None:
+        from ..units import microseconds
+
+        lookahead_ns = microseconds(5)
+    half = k // 2
+    hosts_per_pod = half * half
+    pods = []
+    for pod in range(k):
+        members = [f"A{pod}_{j}" for j in range(half)]
+        members += [f"E{pod}_{j}" for j in range(half)]
+        members += [
+            f"H{n}"
+            for n in range(
+                pod * hosts_per_pod + 1, (pod + 1) * hosts_per_pod + 1
+            )
+        ]
+        pods.append(tuple(members))
+    core = tuple(
+        f"C{group}_{i}" for group in range(half) for i in range(half)
+    )
+    return ShardPlan(
+        pods=tuple(pods),
+        core=core,
+        pod_to_shard=tuple(pod * pod_shards // k for pod in range(k)),
+        lookahead_ns=lookahead_ns,
+    )
+
+
+class ShardContext:
+    """One shard's view of the partition, handed to build/collect hooks.
+
+    ``shard_id=None`` is the *serial reference*: a context that owns
+    everything, so the same build function produces the exact serial
+    workload the sharded run is compared against.
+    """
+
+    __slots__ = ("plan", "shard_id", "root_seed")
+
+    def __init__(
+        self,
+        plan: ShardPlan,
+        shard_id: Optional[int],
+        root_seed: int = 0,
+    ) -> None:
+        if shard_id is not None and not 0 <= shard_id < plan.total_shards:
+            raise ShardError(
+                f"shard_id {shard_id} out of range for {plan.total_shards}"
+                " shards"
+            )
+        self.plan = plan
+        self.shard_id = shard_id
+        self.root_seed = root_seed
+
+    @property
+    def serial(self) -> bool:
+        return self.shard_id is None
+
+    def owns(self, name: str) -> bool:
+        """Does this shard own the named node?  (Serial owns all.)"""
+        if self.shard_id is None:
+            return True
+        return self.plan.owner_of(name) == self.shard_id
+
+    def owns_node(self, node) -> bool:
+        return self.owns(node.name)
+
+    def seed_for(self, *labels) -> int:
+        """Deterministic child seed keyed by stable identity labels.
+
+        Key by *what* the stream drives (``("pod", 3)``, ``("flow",
+        "H1->H9")``), never by shard id — identical at every shard count
+        and in the serial reference.
+        """
+        return shard_seed(self.root_seed, *labels)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        which = "serial" if self.shard_id is None else f"shard {self.shard_id}"
+        return f"<ShardContext {which}/{self.plan.total_shards}>"

@@ -1,0 +1,367 @@
+"""Barrier-epoch coordinator for sharded runs.
+
+Protocol (one synchronization round per epoch):
+
+1. Every shard reports the time of its earliest pending event
+   (``Simulator.peek_time``).
+2. The coordinator computes ``min_next`` over all peeks *and* all
+   routed-but-undelivered cross-shard messages, then sets the epoch
+   horizon ``H = min(min_next + lookahead - 1, end_ns)``.
+3. Each shard injects its inbound messages (``schedule_at(arrival,
+   node.receive, packet, port)``), runs ``sim.run(until_ns=H)``, and
+   returns its outbox of captured boundary frames plus a fresh peek.
+4. The coordinator routes the outboxes, sorted by ``(arrival_ns,
+   src_shard, capture_seq)`` so inline and multiprocessing runs are
+   bit-identical, and loops.
+
+Safety sketch: every frame captured during an epoch was sent at some
+``t_send >= min_next``, and its arrival is ``t_send + link_delay >=
+min_next + lookahead > H``, i.e. strictly beyond the horizon just
+simulated — exchanging messages only at barriers can never deliver into
+a shard's past.  DESIGN.md §6i has the long-form proof and the
+tie-order caveat.
+
+``run_sharded`` uses one ``multiprocessing`` process per shard
+(pipes for the message exchange) and falls back to in-process execution
+where subprocesses are unavailable — same fallback contract as the
+experiment runner's process pool.  ``mode="inline"`` forces the
+in-process path (also the debugging story: one pdb, all shards).
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from .boundary import attach_shard
+from .partition import ShardContext, ShardError, ShardPlan
+
+#: How long the coordinator waits on a worker before declaring it hung.
+EPOCH_TIMEOUT_S = 300.0
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """A complete sharded-run description (picklable; crosses pipes).
+
+    ``build(ctx, **build_kwargs)`` must construct the **full** topology
+    identically in every shard (same seed, same call order) and install
+    flows through :func:`repro.sim.shard.flows.open_shard_flow`;
+    ``collect(topology, ctx)`` returns a dict of scalars covering only
+    what ``ctx`` owns, so the per-shard dicts merge disjointly into
+    exactly the serial reference's dict.  Both must be module-level
+    callables (they are pickled by reference into worker processes).
+    """
+
+    plan: ShardPlan
+    build: Callable
+    collect: Callable
+    end_ns: int
+    root_seed: int = 0
+    build_kwargs: Mapping = field(default_factory=dict)
+
+
+@dataclass
+class SerialResult:
+    """The serial reference run: same spec, one Simulator."""
+
+    metrics: Dict[str, float]
+    events: int
+    wall_s: float
+
+
+@dataclass
+class ShardedResult:
+    """Outcome of a sharded run plus coordination statistics."""
+
+    mode: str  # "process" or "inline"
+    shards: int
+    epochs: int
+    messages: int  # cross-shard frames exchanged
+    events: int  # sum of per-shard events processed
+    wall_s: float
+    per_shard: List[Dict[str, float]]
+    per_shard_events: List[int]
+
+    def merged(self) -> Dict[str, float]:
+        """Union of the per-shard collect dicts (keys must be disjoint)."""
+        merged: Dict[str, float] = {}
+        for payload in self.per_shard:
+            for key, value in payload.items():
+                if key in merged:
+                    raise ShardError(
+                        f"collect key {key!r} reported by two shards — "
+                        "collect() must cover only owned nodes"
+                    )
+                merged[key] = value
+        return merged
+
+
+class ShardWorker:
+    """One shard's simulator, topology and boundary outbox."""
+
+    def __init__(self, spec: ShardSpec, shard_id: int) -> None:
+        self.spec = spec
+        self.ctx = ShardContext(spec.plan, shard_id, spec.root_seed)
+        self.outbox: list = []
+        self.topology = spec.build(self.ctx, **dict(spec.build_kwargs))
+        attach_shard(self.topology, spec.plan, shard_id, self.outbox)
+        self._nodes = self.topology.network.nodes
+
+    def peek(self) -> Optional[int]:
+        return self.topology.sim.peek_time()
+
+    def epoch(
+        self, horizon_ns: int, messages: List[Tuple[int, int, int, object]]
+    ) -> Tuple[list, Optional[int]]:
+        """Inject inbound frames, run to the horizon, flush the outbox."""
+        sim = self.topology.sim
+        nodes = self._nodes
+        for arrival_ns, node_id, port_index, packet in messages:
+            sim.schedule_at(arrival_ns, nodes[node_id].receive, packet, port_index)
+        sim.run(until_ns=horizon_ns)
+        out = list(self.outbox)
+        # Clear in place: the BoundaryCapture proxies hold this list.
+        del self.outbox[:]
+        return out, sim.peek_time()
+
+    def collect(self) -> Tuple[Dict[str, float], int]:
+        payload = self.spec.collect(self.topology, self.ctx)
+        return payload, self.topology.sim.events_processed
+
+
+def run_serial_reference(spec: ShardSpec) -> SerialResult:
+    """Run the identical workload in one Simulator (the ground truth)."""
+    t0 = time.perf_counter()
+    ctx = ShardContext(spec.plan, None, spec.root_seed)
+    topology = spec.build(ctx, **dict(spec.build_kwargs))
+    topology.sim.run(until_ns=spec.end_ns)
+    metrics = spec.collect(topology, ctx)
+    return SerialResult(
+        metrics=metrics,
+        events=topology.sim.events_processed,
+        wall_s=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Shard handles: the same request/response surface over two transports
+# ----------------------------------------------------------------------
+class _InlineHandle:
+    """In-process shard — serial fallback and the debugging mode."""
+
+    def __init__(self, spec: ShardSpec, shard_id: int) -> None:
+        self._worker = ShardWorker(spec, shard_id)
+        self._pending: Optional[tuple] = None
+
+    def start(self) -> Optional[int]:
+        return self._worker.peek()
+
+    def submit_epoch(self, horizon_ns: int, messages: list) -> None:
+        self._pending = (horizon_ns, messages)
+
+    def finish_epoch(self) -> Tuple[list, Optional[int]]:
+        horizon_ns, messages = self._pending
+        self._pending = None
+        return self._worker.epoch(horizon_ns, messages)
+
+    def collect(self) -> Tuple[Dict[str, float], int]:
+        return self._worker.collect()
+
+    def stop(self) -> None:
+        pass
+
+
+def _shard_main(conn, spec: ShardSpec, shard_id: int) -> None:
+    """Worker-process loop: build once, then serve epoch requests."""
+    try:
+        worker = ShardWorker(spec, shard_id)
+        conn.send(("ready", worker.peek()))
+        while True:
+            request = conn.recv()
+            op = request[0]
+            if op == "epoch":
+                out, peek = worker.epoch(request[1], request[2])
+                conn.send(("epoch", out, peek))
+            elif op == "collect":
+                conn.send(("collect", worker.collect()))
+            elif op == "stop":
+                return
+            else:  # pragma: no cover - protocol bug guard
+                raise ShardError(f"unknown request {op!r}")
+    except EOFError:  # coordinator died; exit quietly
+        pass
+    except BaseException as exc:
+        try:
+            conn.send(("error", repr(exc), traceback.format_exc()))
+        except (OSError, ValueError):  # pragma: no cover - pipe gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ProcessHandle:
+    """One worker process + duplex pipe."""
+
+    def __init__(self, spec: ShardSpec, shard_id: int) -> None:
+        import multiprocessing as mp
+
+        self.shard_id = shard_id
+        self._conn, child = mp.Pipe(duplex=True)
+        self._proc = mp.Process(
+            target=_shard_main, args=(child, spec, shard_id), daemon=True
+        )
+        self._proc.start()
+        child.close()
+
+    def _recv(self, expect: str):
+        if not self._conn.poll(EPOCH_TIMEOUT_S):
+            raise ShardError(
+                f"shard {self.shard_id} did not answer within "
+                f"{EPOCH_TIMEOUT_S:.0f}s"
+            )
+        try:
+            reply = self._conn.recv()
+        except EOFError:
+            raise ShardError(
+                f"shard {self.shard_id} process died (exitcode "
+                f"{self._proc.exitcode})"
+            ) from None
+        if reply[0] == "error":
+            raise ShardError(
+                f"shard {self.shard_id} crashed: {reply[1]}\n{reply[2]}"
+            )
+        if reply[0] != expect:  # pragma: no cover - protocol bug guard
+            raise ShardError(f"expected {expect!r}, got {reply[0]!r}")
+        return reply
+
+    def start(self) -> Optional[int]:
+        return self._recv("ready")[1]
+
+    def submit_epoch(self, horizon_ns: int, messages: list) -> None:
+        self._conn.send(("epoch", horizon_ns, messages))
+
+    def finish_epoch(self) -> Tuple[list, Optional[int]]:
+        reply = self._recv("epoch")
+        return reply[1], reply[2]
+
+    def collect(self) -> Tuple[Dict[str, float], int]:
+        self._conn.send(("collect",))
+        return self._recv("collect")[1]
+
+    def stop(self) -> None:
+        try:
+            self._conn.send(("stop",))
+        except (OSError, ValueError):
+            pass
+        self._proc.join(timeout=10)
+        if self._proc.is_alive():  # pragma: no cover - hung worker
+            self._proc.terminate()
+            self._proc.join(timeout=10)
+        self._conn.close()
+
+
+# ----------------------------------------------------------------------
+# Coordinator
+# ----------------------------------------------------------------------
+def _coordinate(
+    handles: list, plan: ShardPlan, end_ns: int
+) -> Tuple[int, int]:
+    """Drive the barrier-epoch loop; returns (epochs, messages)."""
+    lookahead = plan.lookahead_ns
+    n_shards = len(handles)
+    peeks = [handle.start() for handle in handles]
+    pending: list = []  # routed messages not yet handed to their shard
+    epochs = 0
+    exchanged = 0
+    while True:
+        candidates = [p for p in peeks if p is not None]
+        candidates.extend(record[0] for record in pending)
+        if not candidates:
+            break  # globally drained
+        min_next = min(candidates)
+        if min_next > end_ns:
+            break  # nothing left inside the simulated window
+        horizon = min(min_next + lookahead - 1, end_ns)
+        inboxes: List[list] = [[] for _ in range(n_shards)]
+        for arrival_ns, dst_shard, node_id, port_index, packet in pending:
+            inboxes[dst_shard].append(
+                (arrival_ns, node_id, port_index, packet)
+            )
+        exchanged += len(pending)
+        pending = []
+        for handle, inbox in zip(handles, inboxes):
+            handle.submit_epoch(horizon, inbox)
+        routed: list = []
+        peeks = []
+        for src_shard, handle in enumerate(handles):
+            outbox, peek = handle.finish_epoch()
+            peeks.append(peek)
+            for capture_seq, message in enumerate(outbox):
+                routed.append((message[0], src_shard, capture_seq, message))
+        # Deterministic global delivery order — identical for inline and
+        # process modes regardless of handle completion timing.
+        routed.sort(key=lambda record: record[:3])
+        pending = [record[3] for record in routed]
+        epochs += 1
+        if horizon >= end_ns:
+            break  # final epoch: every event <= end_ns has run
+    # Park every shard's clock at end_ns so collect() sees a uniform
+    # duration (messages still pending here arrive beyond end_ns, which
+    # the serial run would likewise never execute).
+    for handle in handles:
+        handle.submit_epoch(end_ns, [])
+    for handle in handles:
+        handle.finish_epoch()
+    return epochs, exchanged
+
+
+def run_sharded(spec: ShardSpec, mode: str = "auto") -> ShardedResult:
+    """Run ``spec`` across ``spec.plan.total_shards`` shards.
+
+    ``mode`` is ``"process"`` (require worker processes), ``"inline"``
+    (in-process shards — deterministic fallback/debug path), or
+    ``"auto"`` (processes, falling back to inline where the platform
+    forbids them — same exceptions the experiment runner tolerates).
+    """
+    if mode not in ("auto", "process", "inline"):
+        raise ValueError(f"unknown shard mode {mode!r}")
+    t0 = time.perf_counter()
+    total = spec.plan.total_shards
+    handles: list = []
+    actual_mode = "inline"
+    if mode in ("auto", "process"):
+        try:
+            handles = [_ProcessHandle(spec, sid) for sid in range(total)]
+            actual_mode = "process"
+        except (OSError, ImportError, PermissionError):
+            for handle in handles:
+                handle.stop()
+            handles = []
+            if mode == "process":
+                raise
+    if not handles:
+        handles = [_InlineHandle(spec, sid) for sid in range(total)]
+    try:
+        epochs, messages = _coordinate(handles, spec.plan, spec.end_ns)
+        per_shard: List[Dict[str, float]] = []
+        per_events: List[int] = []
+        for handle in handles:
+            payload, events = handle.collect()
+            per_shard.append(payload)
+            per_events.append(events)
+    finally:
+        for handle in handles:
+            handle.stop()
+    return ShardedResult(
+        mode=actual_mode,
+        shards=total,
+        epochs=epochs,
+        messages=messages,
+        events=sum(per_events),
+        wall_s=time.perf_counter() - t0,
+        per_shard=per_shard,
+        per_shard_events=per_events,
+    )

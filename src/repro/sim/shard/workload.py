@@ -1,0 +1,108 @@
+"""The canonical sharded workload: pod-to-pod traffic on a fat tree.
+
+One build/collect pair used by the equivalence tests, the pinned perf
+workloads and the experiment runner's ``shard`` figure, so they all
+agree on what "the same workload" means.  ``build_pod_traffic`` builds
+the full fat tree identically in every shard (same seed, same call
+order) and opens ``flows_per_pod`` flows from every pod to its
+neighbour pod — a ring pattern where flows cross shard boundaries
+whenever the two pods live on different shards.  Flow start times are
+jittered from ``ctx.seed_for(...)`` streams keyed by pod/flow identity,
+so they are identical at every shard count and in the serial reference.
+
+``collect_pod_traffic`` fingerprints everything the shard owns: the
+transport-level counters of each owned flow endpoint and the rx/drop
+counters of each owned node.  The per-shard dicts union disjointly into
+the serial run's dict, which is exactly what the bit-identity test
+compares.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict
+
+from ..units import GBPS, microseconds
+from .flows import open_shard_flow
+from .partition import ShardContext
+
+
+def build_pod_traffic(
+    ctx: ShardContext,
+    k: int = 4,
+    protocol: str = "tfc",
+    flows_per_pod: int = 2,
+    rate_bps: int = GBPS,
+    link_delay_ns: int = microseconds(5),
+    buffer_bytes: int = 256_000,
+    start_spread_ns: int = 200_000,
+    size_bytes=None,
+):
+    """Build the fat tree and install this shard's share of the flows."""
+    # Lazy import: repro.sim must not pull the experiment layer (and its
+    # transport imports) in at module-import time.
+    from ...experiments.common import build_topology
+    from ...net.topology import fat_tree
+
+    topology = build_topology(
+        fat_tree,
+        protocol,
+        buffer_bytes=buffer_bytes,
+        k=k,
+        rate_bps=rate_bps,
+        link_delay_ns=link_delay_ns,
+        seed=ctx.root_seed,
+    )
+    half = k // 2
+    hosts_per_pod = half * half
+    flows = []
+    for pod in range(k):
+        for i in range(flows_per_pod):
+            src = topology.hosts[pod * hosts_per_pod + (i % hosts_per_pod)]
+            dst_pod = (pod + 1) % k
+            dst = topology.hosts[
+                dst_pod * hosts_per_pod + (i % hosts_per_pod)
+            ]
+            # Identity-keyed jitter: same start time in every shard, at
+            # any shard count, and in the serial reference.
+            rng = random.Random(ctx.seed_for("pod", pod, "flow", i))
+            start_ns = rng.randrange(start_spread_ns) if start_spread_ns else 0
+            sender, receiver = open_shard_flow(
+                ctx,
+                src,
+                dst,
+                protocol,
+                size_bytes=size_bytes,
+                start_ns=start_ns,
+            )
+            flows.append((f"{src.name}->{dst.name}", sender, receiver))
+    topology.shard_flows = flows
+    return topology
+
+
+def collect_pod_traffic(topology, ctx: ShardContext) -> Dict[str, tuple]:
+    """Fingerprint owned flow endpoints and owned node counters."""
+    out: Dict[str, tuple] = {}
+    for label, sender, receiver in topology.shard_flows:
+        if sender is not None:
+            stats = sender.stats
+            out[f"{label}:tx"] = (
+                stats.bytes_acked,
+                stats.packets_sent,
+                stats.retransmissions,
+                stats.timeouts,
+            )
+        if receiver is not None:
+            out[f"{label}:rx"] = (
+                receiver.bytes_received,
+                receiver.rcv_nxt,
+                receiver.reordered_segments,
+            )
+    for node in topology.network.nodes:
+        if ctx.owns(node.name):
+            out[f"{node.name}:node"] = (
+                node.rx_packets,
+                node.rx_bytes,
+                sum(port.queue.drops for port in node.ports),
+            )
+    return out

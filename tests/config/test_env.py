@@ -23,7 +23,7 @@ from repro.config import (
 def test_knob_table_covers_every_surface():
     assert set(KNOBS) == {
         "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
-        "batch", "compiled",
+        "batch", "compiled", "shards",
     }
     assert KNOBS["scheduler"].names == SCHEDULER_NAMES
     assert KNOBS["routing"].names == ROUTING_NAMES
@@ -32,6 +32,8 @@ def test_knob_table_covers_every_surface():
     assert KNOBS["lossless"].names == LOSSLESS_MODES
     assert KNOBS["batch"].names == ("on", "off")
     assert KNOBS["compiled"].names == ("on", "off")
+    assert KNOBS["shards"].names is None  # a count, checked not enumerated
+    assert KNOBS["shards"].var == "REPRO_SHARDS"
 
 
 def test_defaults_when_unset(monkeypatch):
@@ -85,6 +87,25 @@ def test_env_validates_eagerly():
         env(routing="bogus")
     with pytest.raises(ValueError, match="unknown telemetry mode"):
         env(telemetry="bogus")
+
+
+def test_shard_count_knob(monkeypatch):
+    from repro.config import shard_count
+
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert shard_count() is None  # unset: serial
+    with env(shards="4"):
+        assert os.environ["REPRO_SHARDS"] == "4"
+        assert shard_count() == 4
+    assert "REPRO_SHARDS" not in os.environ
+    monkeypatch.setenv("REPRO_SHARDS", "2")
+    assert shard_count() == 2
+    for bogus in ("zero", "0", "-3", "2.5"):
+        monkeypatch.setenv("REPRO_SHARDS", bogus)
+        with pytest.raises(ValueError, match=r"\$REPRO_SHARDS"):
+            shard_count()
+    with pytest.raises(ValueError, match="positive integer"):
+        env(shards="nope")  # eager validation, like every other knob
 
 
 def test_env_restores_on_exception(monkeypatch):

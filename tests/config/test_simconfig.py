@@ -36,6 +36,23 @@ def test_validation_matches_legacy_error_messages():
         SimConfig(transport="quic")
 
 
+def test_shards_field_validates_and_exports(monkeypatch):
+    import os
+
+    monkeypatch.delenv("REPRO_SHARDS", raising=False)
+    assert SimConfig().shards is None
+    with pytest.raises(ValueError, match="positive integer"):
+        SimConfig(shards=0)
+    with pytest.raises(ValueError, match="positive integer"):
+        SimConfig(shards=-2)
+    cfg = SimConfig(shards=4)
+    with cfg.env():
+        assert os.environ["REPRO_SHARDS"] == "4"
+    assert "REPRO_SHARDS" not in os.environ
+    monkeypatch.setenv("REPRO_SHARDS", "3")
+    assert SimConfig.from_env().shards == 3
+
+
 def test_with_overrides_revalidates():
     cfg = SimConfig(scheduler="heap")
     assert cfg.with_overrides(routing="ecmp").routing == "ecmp"

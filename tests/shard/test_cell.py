@@ -1,0 +1,64 @@
+"""The ``shard`` runner figure: cell modes, knob pickup, registration."""
+
+import pytest
+
+from repro.experiments.runner import FIGURE_CELLS, CellSpec, default_plan
+from repro.experiments.shard_scale import run_shard_cell
+
+
+def test_shard_figure_registered():
+    assert FIGURE_CELLS["shard"] is run_shard_cell
+    specs = default_plan(["shard"], quick=True)
+    assert [s.figure for s in specs] == ["shard"]
+    assert specs[0].kwargs["mode"] == "both"
+    # Cell seeds resolve through the standard identity derivation.
+    assert "seed" in specs[0].resolved(3).kwargs
+
+
+def test_head_to_head_cell_matches_live():
+    """mode='both' runs serial + sharded on one seed and compares."""
+    result = run_shard_cell(
+        mode="both", k=4, pod_shards=2, duration_ms=0.5, exec_mode="inline"
+    )
+    assert result.name == "shard_both"
+    assert result.scalars["match"] == 1.0
+    assert result.scalars["shards"] == 3.0
+    assert result.scalars["speedup"] > 0
+    assert result.scalars["epochs"] > 1
+
+
+def test_sharded_cell_reads_repro_shards(monkeypatch):
+    monkeypatch.setenv("REPRO_SHARDS", "4")
+    result = run_shard_cell(
+        mode="sharded", k=4, duration_ms=0.25, exec_mode="inline"
+    )
+    assert result.scalars["shards"] == 5.0  # 4 pod shards + the core shard
+    monkeypatch.delenv("REPRO_SHARDS")
+    result = run_shard_cell(
+        mode="sharded", k=4, duration_ms=0.25, exec_mode="inline"
+    )
+    assert result.scalars["shards"] == 3.0  # default: 2 pod shards + core
+
+
+def test_serial_cell_has_no_coordinator_scalars():
+    result = run_shard_cell(mode="serial", k=4, duration_ms=0.25)
+    assert result.scalars["sharded"] == 0.0
+    assert "epochs" not in result.scalars
+    assert result.scalars["events"] > 0
+
+
+def test_unknown_mode_rejected():
+    with pytest.raises(ValueError, match="mode"):
+        run_shard_cell(mode="bogus")
+
+
+def test_cell_spec_runs_through_runner():
+    from repro.experiments.runner import run_cells
+
+    spec = CellSpec(
+        "shard",
+        {"mode": "both", "k": 4, "duration_ms": 0.25, "pod_shards": 2,
+         "exec_mode": "inline"},
+    )
+    (result,) = run_cells([spec], jobs=1, shards=2)
+    assert result.scalars["match"] == 1.0

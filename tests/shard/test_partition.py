@@ -1,0 +1,133 @@
+"""Partition plans: validation, ownership, and name-convention pinning."""
+
+import pytest
+
+from repro.experiments.common import derive_cell_seed
+from repro.net.topology import fat_tree
+from repro.sim.shard import (
+    ShardContext,
+    ShardError,
+    ShardPlan,
+    plan_fat_tree,
+    shard_seed,
+)
+from repro.sim.units import microseconds
+
+
+# ----------------------------------------------------------------------
+# ShardPlan validation and queries
+# ----------------------------------------------------------------------
+def test_plan_fat_tree_shape():
+    plan = plan_fat_tree(k=4, pod_shards=2)
+    assert plan.pod_shards == 2
+    assert plan.core_shard == 2
+    assert plan.total_shards == 3
+    assert len(plan.pods) == 4
+    assert len(plan.core) == 4  # (k/2)^2 core switches
+    # Contiguous blocks: pods 0-1 -> shard 0, pods 2-3 -> shard 1.
+    assert plan.pod_to_shard == (0, 0, 1, 1)
+    assert plan.pods_of(0) == (0, 1)
+    assert plan.pods_of(plan.core_shard) == ()
+
+
+def test_plan_owner_of_covers_every_name():
+    plan = plan_fat_tree(k=4, pod_shards=4)
+    assert plan.owner_of("H1") == 0
+    assert plan.owner_of("H16") == 3
+    assert plan.owner_of("A2_1") == 2
+    assert plan.owner_of("C1_0") == plan.core_shard
+    with pytest.raises(ShardError, match="not covered"):
+        plan.owner_of("H99")
+    # members_of partitions the name set exactly.
+    everything = set()
+    for shard in range(plan.total_shards):
+        members = plan.members_of(shard)
+        assert everything.isdisjoint(members)
+        everything.update(members)
+    assert everything == set(plan._owner_map)
+
+
+def test_plan_validation_rejects_bad_shapes():
+    with pytest.raises(ShardError, match="lookahead"):
+        ShardPlan(pods=(("H1",),), core=(), pod_to_shard=(0,), lookahead_ns=0)
+    with pytest.raises(ShardError, match="every pod"):
+        ShardPlan(
+            pods=(("H1",), ("H2",)), core=(), pod_to_shard=(0,),
+            lookahead_ns=1,
+        )
+    with pytest.raises(ShardError, match="contiguous"):
+        ShardPlan(
+            pods=(("H1",), ("H2",)), core=(), pod_to_shard=(0, 2),
+            lookahead_ns=1,
+        )
+    with pytest.raises(ShardError, match="arity"):
+        plan_fat_tree(k=3)
+    with pytest.raises(ShardError, match="pod_shards"):
+        plan_fat_tree(k=4, pod_shards=5)
+
+
+@pytest.mark.parametrize("k", (4, 8))
+def test_plan_names_match_fat_tree_builder(k):
+    """The plan's name convention is pinned against the real topology."""
+    plan = plan_fat_tree(k=k, pod_shards=2)
+    topo = fat_tree(k=k)
+    assert len(plan.pods) == len(topo.pod_members)
+    for pod, members in enumerate(topo.pod_members):
+        assert set(plan.pods[pod]) == set(members)
+    assert set(plan.core) == set(topo.core_members)
+    # Together they cover the whole fabric, with nothing unowned.
+    assert set(plan._owner_map) == {
+        node.name for node in topo.network.nodes
+    }
+
+
+def test_default_lookahead_matches_builder_link_delay():
+    assert plan_fat_tree().lookahead_ns == microseconds(5)
+
+
+# ----------------------------------------------------------------------
+# ShardContext
+# ----------------------------------------------------------------------
+def test_context_ownership_and_serial():
+    plan = plan_fat_tree(k=4, pod_shards=2)
+    serial = ShardContext(plan, None)
+    assert serial.serial
+    assert serial.owns("H1") and serial.owns("C0_0")
+    shard0 = ShardContext(plan, 0)
+    assert shard0.owns("H1") and not shard0.owns("H16")
+    core = ShardContext(plan, plan.core_shard)
+    assert core.owns("C0_0") and not core.owns("H1")
+    with pytest.raises(ShardError, match="out of range"):
+        ShardContext(plan, 3)
+
+
+# ----------------------------------------------------------------------
+# Seeding (satellite: derive_cell_seed reuse)
+# ----------------------------------------------------------------------
+def test_shard_seed_reuses_runner_identity_hash():
+    """shard_seed is derive_cell_seed under a 'shard' namespace."""
+    assert shard_seed(7, "pod", 3) == derive_cell_seed(7, "shard", "pod", 3)
+    # The namespace prefix keeps shard streams disjoint from runner cell
+    # streams drawn from the same root seed.
+    assert shard_seed(7, "pod", 3) != derive_cell_seed(7, "pod", 3)
+
+
+def test_shard_seed_depends_on_identity_not_order():
+    """Mirror of the runner's cell-seed test, for shard streams."""
+    a = shard_seed(1, "pod", 0)
+    b = shard_seed(1, "pod", 1)
+    assert a != b
+    # Stable across calls.
+    assert a == shard_seed(1, "pod", 0)
+    # Different root seeds give different streams.
+    assert a != shard_seed(2, "pod", 0)
+
+
+@pytest.mark.parametrize("pod_shards", (1, 2, 4))
+def test_seed_for_is_invariant_across_shard_counts(pod_shards):
+    """Seeds key on pod identity, so regrouping pods never moves them."""
+    plan = plan_fat_tree(k=4, pod_shards=pod_shards)
+    reference = ShardContext(plan_fat_tree(k=4, pod_shards=2), None, 5)
+    for pod in range(4):
+        ctx = ShardContext(plan, plan.pod_to_shard[pod], root_seed=5)
+        assert ctx.seed_for("pod", pod) == reference.seed_for("pod", pod)

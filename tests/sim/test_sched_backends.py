@@ -214,7 +214,7 @@ def _random_trace(seed, ops=3000):
     return script
 
 
-def _execute(script, scheduler):
+def _execute(script, scheduler, peek_every_op=False):
     sim = Simulator(scheduler=scheduler)
     log = []
     # Cancels must only target *live* handles: a fired handle may have
@@ -230,6 +230,8 @@ def _execute(script, scheduler):
 
     tag = 0
     for op in script:
+        if peek_every_op:
+            sim.peek_time()
         if op[0] == "schedule":
             live[tag] = sim.schedule(op[1], fire, tag)
             tag += 1
@@ -259,3 +261,62 @@ def test_differential_fuzz_identical_pop_sequence(seed):
         assert count == ref_count, f"{backend}: event count diverged"
         assert now == ref_now, f"{backend}: final clock diverged"
         assert log == reference, f"{backend}: pop sequence diverged"
+
+
+# ----------------------------------------------------------------------
+# peek_time: the non-destructive horizon probe (shard coordinator API)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", BACKENDS + ("adaptive",))
+def test_peek_time_reports_earliest_live_event(backend):
+    sim = Simulator(scheduler=backend)
+    assert sim.peek_time() is None  # empty
+    sim.schedule(500, lambda: None)
+    handle = sim.schedule(100, lambda: None)
+    sim.schedule(900, lambda: None)
+    assert sim.peek_time() == 100
+    handle.cancel()
+    assert sim.peek_time() == 500  # skips the cancelled head
+    sim.run()
+    assert sim.peek_time() is None  # drained
+    sim.schedule(0, lambda: None)
+    assert sim.peek_time() == sim.now  # a due event is "now", not future
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+def test_peek_between_pops_never_perturbs_order(seed):
+    """Differential: interleaving peeks leaves the pop trace bit-identical.
+
+    The same fuzz script runs twice per backend — once untouched, once
+    with a ``peek_time()`` probe before every op — and the pop logs must
+    match.  This is the contract the shard coordinator relies on when it
+    probes every shard's horizon between epochs.
+    """
+    script = _random_trace(seed, ops=1500)
+    for backend in BACKENDS + ("adaptive",):
+        plain, plain_count, plain_now = _execute(script, backend)
+        peeked, peeked_count, peeked_now = _execute(
+            script, backend, peek_every_op=True
+        )
+        assert peeked == plain, f"{backend}: peeking perturbed the order"
+        assert peeked_count == plain_count
+        assert peeked_now == plain_now
+
+
+def test_peek_time_on_raw_backends_matches_next_live_time():
+    class _Ev:
+        __slots__ = ("time", "seq", "cancelled")
+
+        def __init__(self, time, seq):
+            self.time = time
+            self.seq = seq
+            self.cancelled = False
+
+    for backend in BACKENDS:
+        sched = make_scheduler(backend)
+        assert sched.peek_time() is None
+        sched.push(40, 0, _Ev(40, 0))
+        early = _Ev(10, 1)
+        sched.push(10, 1, early)
+        assert sched.peek_time() == 10 == sched.next_live_time()
+        early.cancelled = True
+        assert sched.peek_time() == 40 == sched.next_live_time()

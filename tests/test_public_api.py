@@ -63,6 +63,7 @@ def test_config_namespace_is_the_selection_surface():
         lossless_mode,
         routing_name,
         scheduler_name,
+        shard_count,
         telemetry_dir,
         telemetry_mode,
     )
@@ -73,12 +74,13 @@ def test_config_namespace_is_the_selection_surface():
     assert LOSSLESS_MODES == ("off", "pfc")
     assert set(KNOBS) == {
         "scheduler", "routing", "telemetry", "telemetry_dir", "lossless",
-        "batch", "compiled",
+        "batch", "compiled", "shards",
     }
     assert callable(env) and callable(scheduler_name)
     assert callable(routing_name) and callable(telemetry_mode)
     assert callable(telemetry_dir) and callable(lossless_mode)
     assert callable(batch_mode) and callable(compiled_mode)
+    assert callable(shard_count)
     assert SimConfig().seed == 0
 
 
