@@ -19,8 +19,8 @@ built-in default chain behaves exactly as before.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Dict, Optional
 
 from .envvars import KNOBS, current, env as _env, shard_count
 
@@ -82,6 +82,29 @@ class SimConfig:
     def with_overrides(self, **changes) -> "SimConfig":
         """A copy with the given fields replaced (validated again)."""
         return replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    # Round-trip serialisation (the scenario loader's door into configs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """Every field as a plain dict (JSON/YAML-serialisable as-is)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SimConfig":
+        """The inverse of :meth:`to_dict`, rejecting unknown fields.
+
+        Values are validated exactly like constructor arguments, so a
+        typo'd knob value fails here too — not deep inside a run.
+        """
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown SimConfig field(s) {', '.join(unknown)}; "
+                f"known: {', '.join(sorted(known))}"
+            )
+        return cls(**data)
 
     def env(self):
         """A context manager exporting this config's non-None knobs.

@@ -48,6 +48,7 @@ from .multipath_benchmark import run_multipath_cell
 from .pfc_pathology import FABRICS as PFC_FABRICS
 from .pfc_pathology import SCENARIOS as PFC_SCENARIOS
 from .pfc_pathology import run_pathology_cell
+from .scenario_cells import run_scenario_cell
 from .shard_scale import run_shard_cell
 
 CellFn = Callable[..., ExperimentResult]
@@ -67,6 +68,7 @@ FIGURE_CELLS: Dict[str, CellFn] = {
     "mpath": run_multipath_cell,
     "pfc": run_pathology_cell,
     "shard": run_shard_cell,
+    "scenario": run_scenario_cell,
 }
 
 #: Routing policies swept by the multi-path default plans.
@@ -292,7 +294,12 @@ def timed_out_result(spec: CellSpec, timeout_s: float) -> ExperimentResult:
     Depends only on the spec and the budget — never on how far the cell
     got before the kill — so a timed-out batch is still reproducible.
     """
-    protocol = spec.kwargs.get("protocol") or spec.kwargs.get("fabric") or ""
+    protocol = (
+        spec.kwargs.get("protocol")
+        or spec.kwargs.get("fabric")
+        or spec.kwargs.get("transport")
+        or ""
+    )
     return ExperimentResult(
         name=spec.figure,
         protocol=str(protocol),
@@ -425,6 +432,37 @@ def _run_pool(
 # ----------------------------------------------------------------------
 # Default sweep plans (what the CLI runs per figure)
 # ----------------------------------------------------------------------
+def scenario_specs(
+    names: Sequence[str],
+    quick: bool = False,
+    seeds: Optional[Sequence[int]] = None,
+    transports: Optional[Sequence[str]] = None,
+) -> List[CellSpec]:
+    """Cells for a scenario sweep: names x seeds x transport overrides.
+
+    Without ``seeds`` each cell's seed derives from the root seed and
+    the cell's identity (names/paths travel to the workers verbatim);
+    with ``seeds`` the given values are pinned.  ``transports`` swaps
+    every tenant's transport per cell — the fairness head-to-head axis.
+    """
+    specs: List[CellSpec] = []
+    for name in names:
+        for transport in transports or (None,):
+            base: Dict[str, Any] = {"scenario": str(name)}
+            if quick:
+                base["quick"] = True
+            if transport is not None:
+                base["transport"] = transport
+            if seeds:
+                specs.extend(
+                    CellSpec("scenario", {**base, "seed": seed})
+                    for seed in seeds
+                )
+            else:
+                specs.append(CellSpec("scenario", base))
+    return specs
+
+
 def default_plan(
     figures: Sequence[str],
     quick: bool = False,
@@ -549,6 +587,19 @@ def default_plan(
                             },
                         )
                     )
+        elif figure == "scenario":
+            # The committed smoke trio (an ML collective, a storage
+            # fan-out and the multi-tenant mix); scenario_specs() builds
+            # arbitrary sweeps for the CLI's --scenario flags.
+            from ..scenario import default_scenario_names
+
+            names = default_scenario_names()
+            if not names:
+                raise RunnerError(
+                    "no committed scenarios found; point $REPRO_SCENARIOS "
+                    "at a scenario directory or use --scenario PATH"
+                )
+            specs.extend(scenario_specs(names, quick=quick))
         elif figure == "shard":
             # Sharded-vs-serial head-to-head: one cell runs both on the
             # same seed and workload, reporting speedup and a live
@@ -583,9 +634,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--figures",
         nargs="+",
-        default=["fig13"],
+        default=None,
         choices=sorted(FIGURE_CELLS),
-        help="figures to run (default: fig13)",
+        help="figures to run (default: fig13, unless --scenario/"
+        "--scenario-glob select a scenario sweep instead)",
+    )
+    parser.add_argument(
+        "--scenario",
+        nargs="+",
+        metavar="NAME|PATH",
+        default=None,
+        help="run these declarative scenarios (registered names or "
+        "explicit YAML paths); combines with --figures",
+    )
+    parser.add_argument(
+        "--scenario-glob",
+        metavar="PATTERN",
+        default=None,
+        help="run every scenarios/*.yaml whose stem matches PATTERN "
+        "(e.g. 'ml-*')",
+    )
+    parser.add_argument(
+        "--scenario-seeds",
+        nargs="+",
+        type=int,
+        metavar="SEED",
+        default=None,
+        help="pin explicit seeds for the scenario cells (one cell per "
+        "scenario x seed; default: derived from --seed)",
+    )
+    parser.add_argument(
+        "--scenario-transports",
+        nargs="+",
+        choices=ALL_PROTOCOLS,
+        default=None,
+        help="override every tenant's transport, one cell per scenario "
+        "x transport (the fairness head-to-head axis)",
+    )
+    parser.add_argument(
+        "--list-figures",
+        action="store_true",
+        help="print the known figure names and exit",
+    )
+    parser.add_argument(
+        "--list-scenarios",
+        action="store_true",
+        help="print every resolvable scenario (with description) and exit",
     )
     parser.add_argument(
         "--jobs",
@@ -659,11 +753,50 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.shards is not None and args.shards < 1:
         parser.error("--shards must be a positive integer")
 
+    if args.list_figures:
+        for figure in sorted(FIGURE_CELLS):
+            print(figure)
+        return 0
+    if args.list_scenarios:
+        from ..scenario import get_scenario, list_scenarios
+
+        names = list_scenarios()
+        if not names:
+            print("no scenarios found", file=sys.stderr)
+            return 1
+        for name in names:
+            try:
+                print(f"{name}: {get_scenario(name).description}")
+            except Exception as exc:
+                print(f"{name}: INVALID ({exc})")
+        return 0
+
     jobs = args.jobs if args.jobs > 0 else (os.cpu_count() or 1)
-    specs = default_plan(args.figures, quick=args.quick)
+    scenario_names: List[str] = list(args.scenario or [])
+    if args.scenario_glob:
+        from ..scenario import glob_scenarios
+
+        scenario_names.extend(
+            sc.name for sc in glob_scenarios(args.scenario_glob)
+        )
+    if (args.scenario_seeds or args.scenario_transports) and not scenario_names:
+        parser.error(
+            "--scenario-seeds/--scenario-transports need --scenario or "
+            "--scenario-glob"
+        )
+    figures = args.figures or ([] if scenario_names else ["fig13"])
+    specs = default_plan(figures, quick=args.quick)
+    specs.extend(
+        scenario_specs(
+            scenario_names,
+            quick=args.quick,
+            seeds=args.scenario_seeds,
+            transports=args.scenario_transports,
+        )
+    )
+    batch = ", ".join(figures + scenario_names)
     print(
-        f"running {len(specs)} cells across {', '.join(args.figures)} "
-        f"with jobs={jobs}"
+        f"running {len(specs)} cells across {batch} with jobs={jobs}"
         + (f" scheduler={args.scheduler}" if args.scheduler else "")
         + (f" routing={args.routing}" if args.routing else "")
         + (f" telemetry={args.telemetry}" if args.telemetry else "")
@@ -695,7 +828,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         rows.append([result.name, result.protocol, headline])
     print(format_table(["cell", "protocol", "headline scalars"], rows))
-    print(f"{len(results)} cells in {elapsed:.2f}s wall-clock (jobs={jobs})")
+    timed_out = [
+        (spec, result)
+        for spec, result in zip(specs, results)
+        if result.scalars.get("timed_out")
+    ]
+    print(
+        f"{len(results)} cells in {elapsed:.2f}s wall-clock (jobs={jobs})"
+        + (f", {len(timed_out)} TIMED OUT" if timed_out else "")
+    )
+    for spec, result in timed_out:
+        print(
+            f"  timed out after {result.scalars['cell_timeout_s']:g}s: "
+            f"{spec.label}",
+            file=sys.stderr,
+        )
 
     if args.pickle:
         with open(args.pickle, "wb") as fh:

@@ -14,7 +14,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..sim.units import to_microseconds
 from ..transport.base import Sender
-from .stats import percentile, summarize_tail
+from .stats import jain_fairness, percentile, summarize_tail
 
 # The paper's Fig. 13b / 16b size buckets.
 SIZE_BUCKETS: Sequence[Tuple[str, int, int]] = (
@@ -38,13 +38,21 @@ def bucket_for_size(size_bytes: int) -> str:
 class FctRecord:
     """One completed flow."""
 
-    __slots__ = ("category", "size_bytes", "fct_ns", "timeouts")
+    __slots__ = ("category", "size_bytes", "fct_ns", "timeouts", "tenant")
 
-    def __init__(self, category: str, size_bytes: int, fct_ns: int, timeouts: int):
+    def __init__(
+        self,
+        category: str,
+        size_bytes: int,
+        fct_ns: int,
+        timeouts: int,
+        tenant: Optional[str] = None,
+    ):
         self.category = category
         self.size_bytes = size_bytes
         self.fct_ns = fct_ns
         self.timeouts = timeouts
+        self.tenant = tenant
 
 
 class FctCollector:
@@ -59,27 +67,87 @@ class FctCollector:
         """Declare flows that should complete (for completion accounting)."""
         self.pending += count
 
-    def completion_handler(self, category: str):
-        """An ``on_complete`` callback recording flows under ``category``."""
+    def completion_handler(self, category: str, tenant: Optional[str] = None):
+        """An ``on_complete`` callback recording flows under ``category``.
+
+        The record's tenant is ``tenant`` when given, else the sender's
+        own tag (stamped by ``open_flow(tenant=...)``) — so generators
+        that thread tenant identity through their flows need no extra
+        plumbing here.
+        """
 
         def handler(sender: Sender) -> None:
             fct = sender.stats.fct_ns
             assert fct is not None, "on_complete fired without completion time"
             self.records.append(
-                FctRecord(category, sender.flow_bytes, fct, sender.stats.timeouts)
+                FctRecord(
+                    category,
+                    sender.flow_bytes,
+                    fct,
+                    sender.stats.timeouts,
+                    tenant if tenant is not None else sender.tenant,
+                )
             )
             self.pending -= 1
 
         return handler
 
     # ------------------------------------------------------------------
-    def fcts_us(self, category: Optional[str] = None) -> List[float]:
-        """FCTs in microseconds, optionally filtered by category."""
+    def _selected(
+        self, category: Optional[str], tenant: Optional[str]
+    ) -> List[FctRecord]:
+        return [
+            record
+            for record in self.records
+            if (category is None or record.category == category)
+            and (tenant is None or record.tenant == tenant)
+        ]
+
+    def fcts_us(
+        self, category: Optional[str] = None, tenant: Optional[str] = None
+    ) -> List[float]:
+        """FCTs in microseconds, filtered by category and/or tenant."""
         return [
             to_microseconds(record.fct_ns)
-            for record in self.records
-            if category is None or record.category == category
+            for record in self._selected(category, tenant)
         ]
+
+    def tenants(self) -> List[str]:
+        """Tenant names seen on completed flows, sorted."""
+        return sorted({r.tenant for r in self.records if r.tenant is not None})
+
+    def tenant_bytes(self, tenant: str) -> int:
+        """Completed application bytes attributed to ``tenant``."""
+        return sum(r.size_bytes for r in self._selected(None, tenant))
+
+    def tenant_goodputs_bps(self, duration_ns: int) -> Dict[str, float]:
+        """Completed-bytes goodput per tenant over a window.
+
+        Counts only *completed* flows; for a window-accurate number that
+        includes long-lived flows, use
+        :func:`repro.workloads.mixer.tenant_goodputs_bps` (sender-side
+        acked bytes) instead.
+        """
+        if duration_ns <= 0:
+            raise ValueError("duration_ns must be positive")
+        return {
+            tenant: self.tenant_bytes(tenant) * 8 * 1e9 / duration_ns
+            for tenant in self.tenants()
+        }
+
+    def tenant_jain_index(self, duration_ns: int) -> float:
+        """Jain's fairness index over per-tenant completed goodput."""
+        goodputs = list(self.tenant_goodputs_bps(duration_ns).values())
+        if len(goodputs) < 2:
+            return 1.0
+        return jain_fairness(goodputs)
+
+    def tenant_tail_us(self, tenant: str) -> Dict[str, float]:
+        """Mean/95/99/99.9/99.99th FCT (us) for one tenant's flows."""
+        values = self.fcts_us(tenant=tenant)
+        if not values:
+            raise ValueError(f"no completed flows for tenant {tenant!r}")
+        return summarize_tail(values)
 
     def tail_summary_us(self, category: str) -> Dict[str, float]:
         """Mean/95/99/99.9/99.99th FCT (us) for one category (Fig. 13a)."""
@@ -102,16 +170,14 @@ class FctCollector:
             if values
         }
 
-    def total_timeouts(self, category: Optional[str] = None) -> int:
+    def total_timeouts(
+        self, category: Optional[str] = None, tenant: Optional[str] = None
+    ) -> int:
         """Sum of RTO events across completed flows."""
-        return sum(
-            record.timeouts
-            for record in self.records
-            if category is None or record.category == category
-        )
+        return sum(r.timeouts for r in self._selected(category, tenant))
 
-    def completed(self, category: Optional[str] = None) -> int:
-        """Number of completed flows (optionally per category)."""
-        if category is None:
-            return len(self.records)
-        return sum(1 for record in self.records if record.category == category)
+    def completed(
+        self, category: Optional[str] = None, tenant: Optional[str] = None
+    ) -> int:
+        """Number of completed flows (optionally per category/tenant)."""
+        return len(self._selected(category, tenant))

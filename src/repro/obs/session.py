@@ -107,10 +107,13 @@ class Telemetry:
         registry.gauge("net.total_drops").set(total_drops)
 
         # Transport endpoint gauges (one-off counters like the receiver's
-        # reordering count fold into aggregate metrics here).
+        # reordering count fold into aggregate metrics here).  Sender-side
+        # stats additionally aggregate by the flow's tenant tag so
+        # multi-tenant runs export per-tenant accounting rows.
         reordered = 0
         bytes_received = 0
         timeouts = 0
+        tenant_rows: dict = {}
         for host in network.hosts:
             for endpoint in host._connections.values():
                 if hasattr(endpoint, "reordered_segments"):
@@ -120,9 +123,27 @@ class Telemetry:
                 stats = getattr(endpoint, "stats", None)
                 if stats is not None:
                     timeouts += stats.timeouts
+                    tenant = getattr(endpoint, "tenant", None)
+                    if tenant is not None:
+                        row = tenant_rows.setdefault(
+                            tenant,
+                            {"flows": 0, "completed": 0, "bytes_acked": 0,
+                             "timeouts": 0},
+                        )
+                        row["flows"] += 1
+                        row["completed"] += stats.complete_ns is not None
+                        row["bytes_acked"] += stats.bytes_acked
+                        row["timeouts"] += stats.timeouts
         registry.counter("transport.reordered_segments").set_total(reordered)
         registry.counter("transport.bytes_received").set_total(bytes_received)
         registry.counter("transport.timeouts").set_total(timeouts)
+        for tenant in sorted(tenant_rows):
+            row = tenant_rows[tenant]
+            prefix = f"tenant.{tenant}"
+            registry.gauge(f"{prefix}.flows").set(row["flows"])
+            registry.gauge(f"{prefix}.flows_completed").set(row["completed"])
+            registry.gauge(f"{prefix}.bytes_acked").set(row["bytes_acked"])
+            registry.gauge(f"{prefix}.timeouts").set(row["timeouts"])
         return registry
 
     # ------------------------------------------------------------------

@@ -1,0 +1,71 @@
+"""``repro.scenario`` — the declarative scenario layer.
+
+One YAML document (or plain dict) describes a complete simulation run —
+topology, routing, fabric, per-tenant transport + workload mix, fault
+schedule, telemetry mode, duration and seed — and this package turns it
+into a validated :class:`Scenario` and then into an
+:class:`~repro.experiments.common.ExperimentResult`:
+
+    from repro.scenario import get_scenario, run_scenario
+    result = run_scenario(get_scenario("multi-tenant-mix"), seed=1)
+    result["jain_tenants"]
+
+Validation is eager and precise (:class:`ScenarioError` names the exact
+field path), the registry resolves ``scenarios/*.yaml`` plus
+programmatic registrations, and ``run_scenario`` keeps the simulator's
+determinism contract: same scenario + seed -> bit-identical results.
+"""
+
+from .loader import load_scenario_dict, load_scenario_file, load_scenario_text
+from .registry import (
+    SCENARIOS_ENV_VAR,
+    default_scenario_names,
+    get_scenario,
+    glob_scenarios,
+    list_scenarios,
+    register_scenario,
+    resolve,
+    scenarios_dir,
+    unregister_scenario,
+)
+from .run import run_scenario
+from .schema import (
+    FAULT_KINDS,
+    TOPOLOGY_KINDS,
+    WORKLOAD_KINDS,
+    FaultSpec,
+    HostSelector,
+    Scenario,
+    ScenarioError,
+    TenantSpec,
+    TopologySpec,
+    WorkloadSpec,
+    scenario_from_dict,
+)
+
+__all__ = [
+    "Scenario",
+    "ScenarioError",
+    "TopologySpec",
+    "TenantSpec",
+    "WorkloadSpec",
+    "FaultSpec",
+    "HostSelector",
+    "TOPOLOGY_KINDS",
+    "WORKLOAD_KINDS",
+    "FAULT_KINDS",
+    "scenario_from_dict",
+    "load_scenario_text",
+    "load_scenario_file",
+    "load_scenario_dict",
+    "register_scenario",
+    "unregister_scenario",
+    "list_scenarios",
+    "get_scenario",
+    "glob_scenarios",
+    "resolve",
+    "scenarios_dir",
+    "default_scenario_names",
+    "SCENARIOS_ENV_VAR",
+    "run_scenario",
+]

@@ -1,0 +1,76 @@
+"""Loading scenarios from YAML files and raw mappings.
+
+YAML is the storage format for the committed scenario farm
+(``scenarios/*.yaml``); the parser is imported lazily so everything that
+never touches a YAML file (programmatic scenarios, the whole simulator)
+works without PyYAML installed.  Validation itself lives in
+:mod:`repro.scenario.schema` — the loader only does I/O and error
+labelling: every :class:`~repro.scenario.schema.ScenarioError` raised
+while loading a file is re-raised with the file name prefixed onto the
+error path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from .schema import Scenario, ScenarioError, scenario_from_dict
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ScenarioError(
+            "", "loading YAML scenarios requires PyYAML (python -m pip "
+            "install pyyaml); programmatic scenarios via "
+            "scenario_from_dict() work without it"
+        ) from exc
+    return yaml
+
+
+def load_scenario_text(text: str, source: str = "<string>") -> Scenario:
+    """Parse and validate a YAML document given as a string."""
+    try:
+        raw = _yaml().safe_load(text)
+    except Exception as exc:
+        raise ScenarioError(source, f"not valid YAML: {exc}") from None
+    if not isinstance(raw, dict):
+        raise ScenarioError(source, f"expected a YAML mapping, got {type(raw).__name__}")
+    try:
+        return scenario_from_dict(raw)
+    except ScenarioError as exc:
+        raise ScenarioError(f"{source}{exc.path}", _strip_path(exc)) from None
+
+
+def load_scenario_file(path: Union[str, Path]) -> Scenario:
+    """Load, parse and validate one ``*.yaml`` scenario file.
+
+    The scenario's ``name`` must match the file stem — the registry
+    resolves names to files, so a mismatch would make a scenario
+    unreachable under its own name.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ScenarioError(str(path), "no such scenario file")
+    scenario = load_scenario_text(path.read_text(), source=path.name)
+    if scenario.name != path.stem:
+        raise ScenarioError(
+            f"{path.name}.name",
+            f"scenario name {scenario.name!r} must match the file stem "
+            f"{path.stem!r}",
+        )
+    return scenario
+
+
+def load_scenario_dict(raw: Dict[str, Any], source: str = "scenario") -> Scenario:
+    """Validate an in-memory mapping (the programmatic door)."""
+    return scenario_from_dict(raw, source=source)
+
+
+def _strip_path(exc: ScenarioError) -> str:
+    """The error message without its already-extracted path prefix."""
+    message = str(exc)
+    prefix = f"{exc.path}: "
+    return message[len(prefix):] if exc.path and message.startswith(prefix) else message

@@ -1,0 +1,120 @@
+"""The named-scenario registry: ``scenarios/*.yaml`` plus programmatic entries.
+
+Scenarios resolve by name through two layers, programmatic first:
+
+* :func:`register_scenario` — in-process registration (tests, bespoke
+  harnesses, sweep drivers building scenarios on the fly);
+* the scenario directory — ``scenarios/`` at the repository root by
+  default, overridable with ``$REPRO_SCENARIOS`` (the CI smoke job and
+  sweep scripts point it at temporary farms).
+
+File-backed scenarios are loaded lazily and never cached: the registry
+re-reads on every lookup so an edited YAML takes effect immediately, and
+a stale cache can never mask a validation error.  :func:`resolve` also
+accepts explicit paths (anything containing a slash or ending in
+``.yaml``), which is what lets the runner take ``--scenario
+path/to/file.yaml`` without registry involvement.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .loader import load_scenario_file
+from .schema import Scenario, ScenarioError
+
+#: Environment override for the scenario directory.
+SCENARIOS_ENV_VAR = "REPRO_SCENARIOS"
+
+#: Programmatically registered scenarios (name -> scenario).
+_PROGRAMMATIC: Dict[str, Scenario] = {}
+
+
+def scenarios_dir() -> Path:
+    """The directory named scenarios load from (may not exist)."""
+    override = os.environ.get(SCENARIOS_ENV_VAR, "")
+    if override:
+        return Path(override)
+    # src/repro/scenario/registry.py -> repository root / "scenarios"
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def register_scenario(scenario: Scenario, replace: bool = False) -> Scenario:
+    """Register ``scenario`` under its own name (programmatic door).
+
+    Registered names shadow same-named files; re-registering an existing
+    name requires ``replace=True`` so tests cannot silently clobber each
+    other's fixtures.
+    """
+    if scenario.name in _PROGRAMMATIC and not replace:
+        raise ScenarioError(
+            scenario.name,
+            "already registered; pass replace=True to overwrite",
+        )
+    _PROGRAMMATIC[scenario.name] = scenario
+    return scenario
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a programmatic registration (no-op if absent)."""
+    _PROGRAMMATIC.pop(name, None)
+
+
+def list_scenarios() -> List[str]:
+    """Every resolvable scenario name, sorted (files + programmatic)."""
+    names = set(_PROGRAMMATIC)
+    directory = scenarios_dir()
+    if directory.is_dir():
+        names.update(p.stem for p in directory.glob("*.yaml"))
+    return sorted(names)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Resolve a registered name or a ``scenarios/<name>.yaml`` file."""
+    if name in _PROGRAMMATIC:
+        return _PROGRAMMATIC[name]
+    candidate = scenarios_dir() / f"{name}.yaml"
+    if candidate.exists():
+        return load_scenario_file(candidate)
+    known = ", ".join(list_scenarios()) or "(none)"
+    raise ScenarioError(
+        name,
+        f"unknown scenario; known names: {known} "
+        f"(directory: {scenarios_dir()})",
+    )
+
+
+def resolve(name_or_path: Union[str, Path]) -> Scenario:
+    """Accept either a registered name or an explicit YAML path."""
+    text = str(name_or_path)
+    if os.sep in text or text.endswith(".yaml") or text.endswith(".yml"):
+        return load_scenario_file(text)
+    return get_scenario(text)
+
+
+def glob_scenarios(pattern: str) -> List[Scenario]:
+    """Every scenario in the scenario directory matching ``pattern``.
+
+    The pattern is a file glob over stems (``ml-*``) or full file names
+    (``ml-*.yaml``); results are sorted by name for deterministic sweep
+    order.
+    """
+    directory = scenarios_dir()
+    if not pattern.endswith((".yaml", ".yml")):
+        pattern = f"{pattern}.yaml"
+    matches = sorted(directory.glob(pattern)) if directory.is_dir() else []
+    if not matches:
+        raise ScenarioError(
+            pattern, f"no scenarios match in {directory}"
+        )
+    return [load_scenario_file(p) for p in matches]
+
+
+def default_scenario_names() -> Optional[List[str]]:
+    """The committed smoke-trio when present (runner default plan)."""
+    wanted = ["ml-allreduce", "storage-fanout", "multi-tenant-mix"]
+    available = set(list_scenarios())
+    found = [name for name in wanted if name in available]
+    return found or None

@@ -112,6 +112,10 @@ class Sender:
 
     protocol_name = "base"
 
+    #: Tenant tag for multi-tenant accounting, stamped by
+    #: :func:`repro.transport.registry.open_flow`; None = untenanted.
+    tenant: Optional[str] = None
+
     def __init__(
         self,
         host: Host,
@@ -433,6 +437,9 @@ class Sender:
 
 class Receiver:
     """Reassembly plus per-packet cumulative ACK generation."""
+
+    #: Tenant tag mirroring the sender's (see :class:`Sender.tenant`).
+    tenant: Optional[str] = None
 
     def __init__(self, host: Host, flow_key, awnd_bytes: int = DEFAULT_AWND):
         self.host = host

@@ -128,14 +128,17 @@ def open_flow(
     min_rto_ns: int = 10 * MILLISECOND,
     awnd_bytes: Optional[int] = None,
     weight: Optional[int] = None,
+    tenant: Optional[str] = None,
 ) -> Sender:
     """Create a ``src -> dst`` flow and schedule its start.
 
     ``size_bytes=None`` makes the flow long-lived; ``start_ns=None`` starts
     it immediately.  ``weight`` selects the weighted TFC allocation policy
-    (TFC flows only).  Returns the sender (its ``stats`` carry everything
-    the experiments measure; the receiver is reachable for tests via
-    ``sender.receiver``).
+    (TFC flows only).  ``tenant`` tags both endpoints for multi-tenant
+    accounting (per-tenant goodput/FCT in ``repro.obs`` and
+    ``repro.metrics.fct``).  Returns the sender (its ``stats`` carry
+    everything the experiments measure; the receiver is reachable for
+    tests via ``sender.receiver``).
     """
     spec = get_protocol(protocol)
     sport = src.allocate_port()
@@ -158,6 +161,9 @@ def open_flow(
     )
     receiver = spec.receiver_cls(dst, sender.flow_key, **common)
     sender.receiver = receiver  # convenience back-reference for tests
+    if tenant is not None:
+        sender.tenant = tenant
+        receiver.tenant = tenant
     if start_ns is None or start_ns <= src.sim.now:
         sender.start()
     else:

@@ -1,6 +1,8 @@
-"""Workload generators: bulk, on-off, incast, empirical benchmark."""
+"""Workload generators: bulk, on-off, incast, empirical benchmark,
+ML collectives, storage replication, and the multi-tenant mixer."""
 
 from .bulk import concurrent_flows, staggered_flows
+from .collective import AllReduceWorkload, ring_steps, tree_steps
 from .distributions import (
     QUERY_RESPONSE_BYTES,
     SHORT_MESSAGE_SIZES,
@@ -11,7 +13,17 @@ from .distributions import (
 )
 from .empirical import BenchmarkWorkload
 from .incast import IncastCoordinator
+from .mixer import (
+    MixReport,
+    MultiTenantMixer,
+    TenantStats,
+    per_tenant_stats,
+    tenant_goodputs_bps,
+    tenant_jain_index,
+    tenant_senders,
+)
 from .onoff import OnOffSource, PacedSource
+from .storage import ReplicationWorkload
 
 __all__ = [
     "concurrent_flows",
@@ -26,4 +38,15 @@ __all__ = [
     "IncastCoordinator",
     "OnOffSource",
     "PacedSource",
+    "AllReduceWorkload",
+    "ring_steps",
+    "tree_steps",
+    "ReplicationWorkload",
+    "MultiTenantMixer",
+    "MixReport",
+    "TenantStats",
+    "per_tenant_stats",
+    "tenant_goodputs_bps",
+    "tenant_jain_index",
+    "tenant_senders",
 ]

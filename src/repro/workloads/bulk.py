@@ -23,6 +23,7 @@ def staggered_flows(
     size_bytes: Optional[int] = None,
     first_start_ns: int = 0,
     min_rto_ns: int = 10 * MILLISECOND,
+    tenant: Optional[str] = None,
 ) -> List[Sender]:
     """One flow per source host, started ``interval_ns`` apart.
 
@@ -39,6 +40,7 @@ def staggered_flows(
                 size_bytes=size_bytes,
                 start_ns=first_start_ns + i * interval_ns,
                 min_rto_ns=min_rto_ns,
+                tenant=tenant,
             )
         )
     return senders
@@ -51,6 +53,7 @@ def concurrent_flows(
     size_bytes: Optional[int] = None,
     start_ns: int = 0,
     min_rto_ns: int = 10 * MILLISECOND,
+    tenant: Optional[str] = None,
 ) -> List[Sender]:
     """One flow per source host, all started at the same instant."""
     return staggered_flows(
@@ -61,4 +64,5 @@ def concurrent_flows(
         size_bytes=size_bytes,
         first_start_ns=start_ns,
         min_rto_ns=min_rto_ns,
+        tenant=tenant,
     )

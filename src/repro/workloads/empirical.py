@@ -52,6 +52,7 @@ class BenchmarkWorkload:
         min_rto_ns: int = 10 * MILLISECOND,
         seed_name: str = "benchmark",
         collector: Optional[FctCollector] = None,
+        tenant: Optional[str] = None,
     ):
         if len(hosts) < 3:
             raise ValueError("benchmark needs at least three hosts")
@@ -63,6 +64,7 @@ class BenchmarkWorkload:
         self.query_fanin = query_fanin
         self.query_response_bytes = query_response_bytes
         self.min_rto_ns = min_rto_ns
+        self.tenant = tenant
         self.collector = collector if collector is not None else FctCollector()
         self.sim = hosts[0].sim
         self._rng = random.Random(_stable_seed(seed_name))
@@ -125,6 +127,7 @@ class BenchmarkWorkload:
             size_bytes=size,
             on_complete=self.collector.completion_handler(category),
             min_rto_ns=self.min_rto_ns,
+            tenant=self.tenant,
         )
 
 

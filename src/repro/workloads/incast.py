@@ -42,6 +42,7 @@ class IncastCoordinator:
         request_delay_ns: int = microseconds(50),
         min_rto_ns: Optional[int] = None,
         start_ns: int = 0,
+        tenant: Optional[str] = None,
     ):
         if not servers:
             raise ValueError("incast needs at least one server")
@@ -60,7 +61,9 @@ class IncastCoordinator:
         kwargs = {} if min_rto_ns is None else {"min_rto_ns": min_rto_ns}
         # size_bytes=0 keeps flows open; blocks are queued per round.
         self.senders: List[Sender] = [
-            open_flow(server, client, protocol, size_bytes=0, **kwargs)
+            open_flow(
+                server, client, protocol, size_bytes=0, tenant=tenant, **kwargs
+            )
             for server in servers
         ]
         for sender in self.senders:

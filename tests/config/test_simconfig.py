@@ -112,3 +112,41 @@ def test_telemetry_enabled_property():
     assert SimConfig(telemetry="counters").telemetry_enabled
     assert not SimConfig(telemetry="off").telemetry_enabled
     assert not SimConfig().telemetry_enabled
+
+
+# ----------------------------------------------------------------------
+# to_dict / from_dict round-trip
+# ----------------------------------------------------------------------
+def test_to_dict_from_dict_round_trip_all_fields():
+    cfg = SimConfig(
+        seed=42,
+        scheduler="heap",
+        routing="ecmp",
+        transport="tfc",
+        telemetry="counters",
+        telemetry_dir="/tmp/somewhere",
+        lossless="pfc",
+        batch="on",
+        compiled="off",
+        shards=3,
+    )
+    data = cfg.to_dict()
+    assert data["shards"] == 3
+    assert data["lossless"] == "pfc"
+    restored = SimConfig.from_dict(data)
+    assert restored == cfg
+
+
+def test_round_trip_of_defaults():
+    cfg = SimConfig()
+    assert SimConfig.from_dict(cfg.to_dict()) == cfg
+
+
+def test_from_dict_rejects_unknown_fields():
+    with pytest.raises(ValueError, match="unknown SimConfig field"):
+        SimConfig.from_dict({"seed": 1, "sched": "heap"})
+
+
+def test_from_dict_validates_values():
+    with pytest.raises(ValueError, match="unknown scheduler backend"):
+        SimConfig.from_dict({"scheduler": "bogus"})

@@ -1,0 +1,112 @@
+"""Scenario registry: names, files, globs, programmatic registration."""
+
+import pytest
+
+from repro.scenario import (
+    ScenarioError,
+    get_scenario,
+    glob_scenarios,
+    list_scenarios,
+    load_scenario_file,
+    register_scenario,
+    resolve,
+    scenario_from_dict,
+    scenarios_dir,
+    unregister_scenario,
+)
+
+COMMITTED = (
+    "chaos-linkflap",
+    "incast-burst",
+    "ml-allreduce",
+    "ml-tree-allreduce",
+    "multi-tenant-mix",
+    "storage-chain",
+    "storage-fanout",
+)
+
+
+def test_committed_farm_is_present_and_loadable():
+    names = list_scenarios()
+    for name in COMMITTED:
+        assert name in names
+        scenario = get_scenario(name)
+        assert scenario.name == name
+        assert scenario.description
+
+
+def test_unknown_name_lists_alternatives():
+    with pytest.raises(ScenarioError, match="unknown scenario"):
+        get_scenario("no-such-scenario")
+
+
+def test_resolve_accepts_explicit_paths():
+    path = scenarios_dir() / "ml-allreduce.yaml"
+    assert resolve(str(path)).name == "ml-allreduce"
+    assert resolve("ml-allreduce").name == "ml-allreduce"
+
+
+def test_glob_matches_by_stem():
+    names = [s.name for s in glob_scenarios("ml-*")]
+    assert names == ["ml-allreduce", "ml-tree-allreduce"]
+    with pytest.raises(ScenarioError, match="no scenarios match"):
+        glob_scenarios("zz-*")
+
+
+def test_name_must_match_file_stem(tmp_path):
+    path = tmp_path / "alpha.yaml"
+    path.write_text(
+        "name: beta\nduration_ms: 1.0\n"
+        "topology: {kind: dumbbell, n_senders: 2}\n"
+        "tenants:\n"
+        "  - {name: a, transport: tcp, workload: {kind: bulk}}\n"
+    )
+    with pytest.raises(ScenarioError, match="must match the file stem"):
+        load_scenario_file(path)
+
+
+def test_file_errors_carry_the_file_name(tmp_path):
+    path = tmp_path / "bad.yaml"
+    path.write_text(
+        "name: bad\nduration_ms: 1.0\n"
+        "topology: {kind: dumbbell, n_senders: 2}\n"
+        "tenants:\n"
+        "  - {name: a, transport: tcp, workload: {kind: warp}}\n"
+    )
+    with pytest.raises(ScenarioError, match=r"bad\.yaml\.tenants\[0\]"):
+        load_scenario_file(path)
+
+
+def test_env_override_redirects_directory(tmp_path, monkeypatch):
+    (tmp_path / "only.yaml").write_text(
+        "name: only\nduration_ms: 1.0\n"
+        "topology: {kind: dumbbell, n_senders: 2}\n"
+        "tenants:\n"
+        "  - {name: a, transport: tcp, workload: {kind: bulk}}\n"
+    )
+    monkeypatch.setenv("REPRO_SCENARIOS", str(tmp_path))
+    assert list_scenarios() == ["only"]
+    assert get_scenario("only").tenants[0].transport == "tcp"
+
+
+def test_programmatic_registration_shadows_and_guards():
+    scenario = scenario_from_dict(
+        {
+            "name": "prog-test",
+            "duration_ms": 1.0,
+            "topology": {"kind": "dumbbell", "n_senders": 2},
+            "tenants": [
+                {"name": "a", "transport": "tcp", "workload": {"kind": "bulk"}}
+            ],
+        }
+    )
+    try:
+        register_scenario(scenario)
+        assert get_scenario("prog-test") is scenario
+        assert "prog-test" in list_scenarios()
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_scenario(scenario)
+        register_scenario(scenario, replace=True)
+    finally:
+        unregister_scenario("prog-test")
+    assert "prog-test" not in list_scenarios()

@@ -1,0 +1,86 @@
+"""Ring/tree all-reduce: step plans, barriers, completion accounting."""
+
+import pytest
+
+from repro.experiments.common import build_topology
+from repro.metrics.fct import FctCollector
+from repro.net.topology import testbed as build_testbed
+from repro.sim.units import MILLISECOND, microseconds
+from repro.workloads.collective import AllReduceWorkload, ring_steps, tree_steps
+
+
+def make_topo():
+    return build_topology(build_testbed, "tfc", 256_000, seed=1)
+
+
+def test_ring_steps_shape():
+    steps = ring_steps(4)
+    # 2(n-1) steps, each with n concurrent neighbour transfers.
+    assert len(steps) == 6
+    assert all(len(step) == 4 for step in steps)
+    assert steps[0] == [(0, 1), (1, 2), (2, 3), (3, 0)]
+
+
+def test_tree_steps_reduce_then_broadcast():
+    steps = tree_steps(7)
+    n_reduce = len(steps) // 2
+    # Broadcast mirrors the reduce phase with directions flipped.
+    for reduce_step, bcast_step in zip(
+        steps[:n_reduce], reversed(steps[n_reduce:])
+    ):
+        assert sorted(bcast_step) == sorted(
+            (dst, src) for src, dst in reduce_step
+        )
+    # Reduce sends always go towards the parent (smaller index).
+    for step in steps[:n_reduce]:
+        assert all(dst == (src - 1) // 2 for src, dst in step)
+
+
+def test_ring_allreduce_completes_with_barriers():
+    topo = make_topo()
+    collector = FctCollector()
+    workload = AllReduceWorkload(
+        topo.hosts[:6], "tfc", chunk_bytes=16_000, iterations=2,
+        mode="ring", collector=collector, tenant="train",
+    )
+    topo.network.run_for(50 * MILLISECOND)
+    assert workload.finished
+    assert workload.iterations_completed == 2
+    assert workload.steps_per_iteration == 10
+    # Every step launches one flow per participant.
+    assert workload.flows_launched == 2 * 10 * 6
+    assert collector.completed(tenant="train") == workload.flows_launched
+    assert len(workload.iteration_times_ns) == 2
+
+
+def test_tree_allreduce_completes():
+    topo = make_topo()
+    workload = AllReduceWorkload(
+        topo.hosts[:7], "tfc", chunk_bytes=16_000, iterations=1, mode="tree",
+        compute_gap_ns=microseconds(20),
+    )
+    topo.network.run_for(50 * MILLISECOND)
+    assert workload.finished
+    assert workload.iterations_completed == 1
+
+
+def test_compute_gap_delays_iterations():
+    def finish_time(gap_ns):
+        topo = make_topo()
+        workload = AllReduceWorkload(
+            topo.hosts[:4], "tfc", chunk_bytes=8_000, iterations=2,
+            mode="ring", compute_gap_ns=gap_ns,
+        )
+        topo.network.run_for(50 * MILLISECOND)
+        assert workload.finished
+        return workload.finished_ns
+
+    assert finish_time(microseconds(500)) > finish_time(0)
+
+
+def test_rejects_bad_inputs():
+    topo = make_topo()
+    with pytest.raises(ValueError, match="mode"):
+        AllReduceWorkload(topo.hosts[:4], "tfc", mode="mesh")
+    with pytest.raises(ValueError, match="two"):
+        AllReduceWorkload(topo.hosts[:1], "tfc")

@@ -1,0 +1,174 @@
+"""Same seed -> identical flow schedule, for every workload generator.
+
+Each generator is run twice on freshly built topologies with the same
+seed and the resulting *flow fingerprint* (every sender's byte/timeout
+accounting plus the FCT records) must match exactly — parametrized over
+scheduler backends, which must also agree with each other (the repo's
+bit-identity contract extends to the generators' RNG streams).
+"""
+
+import pytest
+
+from repro.config import SCHEDULER_NAMES, env
+from repro.experiments.common import build_topology
+from repro.metrics.fct import FctCollector
+from repro.net.topology import testbed as build_testbed
+from repro.sim.units import MILLISECOND, microseconds
+from repro.transport.base import Sender
+from repro.workloads.collective import AllReduceWorkload
+from repro.workloads.empirical import BenchmarkWorkload
+from repro.workloads.incast import IncastCoordinator
+from repro.workloads.mixer import MultiTenantMixer
+from repro.workloads.onoff import OnOffSource
+from repro.workloads.storage import ReplicationWorkload
+from repro.transport.registry import open_flow
+
+DURATION = 2 * MILLISECOND
+RUN_FOR = 3 * MILLISECOND
+
+
+def fingerprint(network, collector=None):
+    """Every sender's accounting plus the FCT record list, as one value."""
+    rows = []
+    for host in network.hosts:
+        for key, endpoint in sorted(host._connections.items()):
+            if not isinstance(endpoint, Sender):
+                continue
+            stats = endpoint.stats
+            rows.append(
+                (
+                    host.name,
+                    key,
+                    endpoint.tenant,
+                    stats.bytes_sent,
+                    stats.bytes_acked,
+                    stats.timeouts,
+                    stats.retransmissions,
+                    stats.complete_ns,
+                )
+            )
+    records = tuple(
+        (r.category, r.tenant, r.size_bytes, r.fct_ns, r.timeouts)
+        for r in (collector.records if collector is not None else ())
+    )
+    return (tuple(sorted(rows)), records)
+
+
+def _drive(build_workload):
+    """Build a testbed, run ``build_workload`` on it, fingerprint it."""
+    collector = FctCollector()
+    topo = build_topology(build_testbed, "tfc", 256_000, seed=3)
+    build_workload(topo, collector)
+    topo.network.run_for(RUN_FOR)
+    return fingerprint(topo.network, collector)
+
+
+def _empirical(topo, collector):
+    BenchmarkWorkload(
+        topo.hosts, "tfc", DURATION,
+        query_rate_per_s=3000.0, query_fanin=4,
+        short_rate_per_s=800.0, background_rate_per_s=400.0,
+        seed_name="det", collector=collector, tenant="t",
+    )
+
+
+def _incast(topo, collector):
+    IncastCoordinator(
+        topo.hosts[0], topo.hosts[1:6], "tfc",
+        block_bytes=24_000, rounds=4,
+        request_delay_ns=microseconds(40), tenant="t",
+    )
+
+
+def _onoff(topo, collector):
+    for host in topo.hosts[:4]:
+        sender = open_flow(host, topo.hosts[-1], "tfc", size_bytes=0, tenant="t")
+        sender.fin_on_empty = False
+        OnOffSource(
+            host.sim, sender,
+            on_ns=microseconds(200), off_ns=microseconds(200),
+            burst_bytes=32_000, cycles=4,
+        )
+
+
+def _allreduce_ring(topo, collector):
+    AllReduceWorkload(
+        topo.hosts[:6], "tfc", chunk_bytes=16_000, iterations=2,
+        mode="ring", tenant="t", collector=collector,
+    )
+
+
+def _allreduce_tree(topo, collector):
+    AllReduceWorkload(
+        topo.hosts[:7], "tfc", chunk_bytes=16_000, iterations=2,
+        mode="tree", compute_gap_ns=microseconds(30),
+        tenant="t", collector=collector,
+    )
+
+
+def _storage_fanout(topo, collector):
+    ReplicationWorkload(
+        topo.hosts, "tfc", DURATION, replicas=2, mode="fanout",
+        write_rate_per_s=3000.0, value_bytes=32_000,
+        tenant="t", collector=collector, seed_name="det",
+    )
+
+
+def _storage_chain(topo, collector):
+    ReplicationWorkload(
+        topo.hosts, "tfc", DURATION, replicas=2, mode="chain",
+        write_rate_per_s=2000.0, value_bytes=24_000,
+        tenant="t", collector=collector, seed_name="det",
+    )
+
+
+def _mixer(topo, collector):
+    MultiTenantMixer(
+        topo.network,
+        [
+            (
+                "search",
+                lambda name, coll: BenchmarkWorkload(
+                    topo.hosts[:5], "tfc", DURATION,
+                    query_rate_per_s=2000.0, query_fanin=3,
+                    seed_name=f"mix:{name}", collector=coll, tenant=name,
+                ),
+            ),
+            (
+                "training",
+                lambda name, coll: AllReduceWorkload(
+                    topo.hosts[5:9], "tfc", chunk_bytes=16_000,
+                    iterations=2, tenant=name, collector=coll,
+                ),
+            ),
+        ],
+        collector=collector,
+    )
+
+
+GENERATORS = {
+    "empirical": _empirical,
+    "incast": _incast,
+    "onoff": _onoff,
+    "allreduce_ring": _allreduce_ring,
+    "allreduce_tree": _allreduce_tree,
+    "storage_fanout": _storage_fanout,
+    "storage_chain": _storage_chain,
+    "mixer": _mixer,
+}
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+def test_same_seed_same_schedule(name):
+    build = GENERATORS[name]
+    assert _drive(build) == _drive(build)
+
+
+@pytest.mark.parametrize("name", sorted(GENERATORS))
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_identical_across_scheduler_backends(name, scheduler):
+    build = GENERATORS[name]
+    with env(scheduler="heap"):
+        baseline = _drive(build)
+    with env(scheduler=scheduler):
+        assert _drive(build) == baseline
