@@ -13,18 +13,17 @@ Run::
     python examples/multi_bottleneck.py
 """
 
-from repro.experiments.common import format_table
+from repro.experiments.common import build_topology, format_table
 from repro.net import multi_bottleneck
 from repro.sim.units import seconds
-from repro.transport import configure_network, open_flow, queue_factory_for
+from repro.transport import open_flow
 
 DURATION_S = 0.8
 
 
 def main() -> None:
-    topo = multi_bottleneck(queue_factory=queue_factory_for("tfc", 256_000))
+    topo = build_topology(multi_bottleneck, "tfc", buffer_bytes=256_000)
     net = topo.network
-    configure_network(net, "tfc")
     h1, h2, h3, h4 = topo.hosts
 
     groups = {

@@ -15,20 +15,24 @@ from repro.core import TfcParams
 from repro.metrics import QueueSampler, RateSampler, jain_fairness
 from repro.net import dumbbell
 from repro.sim.units import microseconds, milliseconds, seconds
-from repro.transport import configure_network, open_flow, queue_factory_for
+from repro.transport import get_protocol, open_flow
 
 
 def main() -> None:
-    # 1. Topology: 4 senders -> 1 switch -> 1 receiver, all 1 Gbps.
+    # 1. The protocol spec owns everything TFC-specific: its queue
+    #    discipline, its typed parameters, its switch-side installer.
+    spec = get_protocol("tfc")
+    params = spec.resolve_params(TfcParams())
+
+    # 2. Topology: 4 senders -> 1 switch -> 1 receiver, all 1 Gbps —
+    #    then make every switch port a TFC port (token allocator, N/rho
+    #    counters, RTT timer, delay arbiter).
     topo = dumbbell(
         n_senders=4,
-        queue_factory=queue_factory_for("tfc", buffer_bytes=256_000),
+        queue_factory=spec.port_queue_factory(256_000, params),
     )
     net = topo.network
-
-    # 2. Make every switch port a TFC port (token allocator, N/rho
-    #    counters, RTT timer, delay arbiter).
-    configure_network(net, "tfc", TfcParams())
+    spec.install(net, params)
 
     # 3. Four long-lived flows, one new flow every 100 ms.
     receiver = topo.hosts[-1]

@@ -18,19 +18,17 @@ Run::
     python examples/storm_onoff.py
 """
 
+from repro.experiments.common import build_topology
 from repro.metrics import RateSampler
 from repro.net import dumbbell
 from repro.sim.units import milliseconds, seconds
-from repro.transport import configure_network, open_flow, queue_factory_for
+from repro.transport import open_flow
 from repro.workloads import OnOffSource
 
 
 def main() -> None:
-    topo = dumbbell(
-        n_senders=2, queue_factory=queue_factory_for("tfc", 256_000)
-    )
+    topo = build_topology(dumbbell, "tfc", buffer_bytes=256_000, n_senders=2)
     net = topo.network
-    configure_network(net, "tfc")
     receiver = topo.hosts[-1]
 
     steady = open_flow(topo.hosts[0], receiver, "tfc")

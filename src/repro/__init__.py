@@ -14,14 +14,20 @@ recorder).
 
 Quickstart::
 
+    from repro.experiments.common import build_topology
     from repro.net import dumbbell
-    from repro.transport import configure_network, open_flow
+    from repro.transport import open_flow
     from repro.sim.units import seconds
 
-    topo = dumbbell(n_senders=4)
-    configure_network(topo.network, "tfc")
+    topo = build_topology(dumbbell, "tfc", buffer_bytes=256_000, n_senders=4)
     flows = [open_flow(h, topo.hosts[-1], "tfc") for h in topo.hosts[:4]]
     topo.network.run_for(seconds(1))
+
+Every transport (tfc, dctcp, tcp, pfc, bfc, tbtcp, tracks, fairq) is a
+:class:`~repro.transport.registry.Protocol` entry owning its queue
+discipline and switch-side installer; ``repro.transport.
+register_protocol`` adds new ones at runtime and scenarios/experiments
+pick them up by name.
 
 Observability quickstart::
 

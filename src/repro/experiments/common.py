@@ -10,21 +10,47 @@ live here.
 from __future__ import annotations
 
 import hashlib
+from collections.abc import Mapping
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
-from ..core.params import DEFAULT_PARAMS, TfcParams
+from ..core.params import TfcParams
 from ..net.topology import Topology
 from ..obs import maybe_install as maybe_install_telemetry
-from ..transport.registry import configure_network, queue_factory_for
+from ..transport.registry import (
+    get_protocol,
+    registered_protocols,
+    resolve_legacy_params,
+)
 
-PROTOCOL_LABELS = {
-    "tfc": "TFC",
-    "dctcp": "DCTCP",
-    "tcp": "TCP",
-    "pfc": "TCP+PFC",
-}
+
+class _ProtocolLabels(Mapping):
+    """Live view of the registry's display labels.
+
+    A plain dict snapshot would go stale the moment a test or experiment
+    calls ``register_protocol``; this reads through to the registry so
+    report tables always label exactly the protocols that exist.
+    """
+
+    def __getitem__(self, name: str) -> str:
+        return get_protocol(name).display_label
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(registered_protocols())
+
+    def __len__(self) -> int:
+        return len(registered_protocols())
+
+
+PROTOCOL_LABELS = _ProtocolLabels()
+
+#: The paper's own comparison set — the default sweep of every figure.
 ALL_PROTOCOLS = ("tfc", "dctcp", "tcp")
+
+#: The full comparison grid including the related-work baselines
+#: (DESIGN.md §6k) — what the ``baselines`` figure and the scenario
+#: fairness head-to-heads sweep.
+BASELINE_PROTOCOLS = ("tfc", "dctcp", "tcp", "pfc", "bfc", "tbtcp", "tracks", "fairq")
 
 
 @dataclass
@@ -58,6 +84,7 @@ def build_topology(
     builder: Callable[..., Topology],
     protocol: str,
     buffer_bytes: int,
+    protocol_params: Optional[object] = None,
     tfc_params: Optional[TfcParams] = None,
     ecn_threshold_bytes: int = 32_000,
     pfc_params=None,
@@ -65,25 +92,34 @@ def build_topology(
 ) -> Topology:
     """Build a topology wired for ``protocol`` (queues + switch agents).
 
+    All protocol behaviour flows through the registry's
+    :class:`~repro.transport.registry.Protocol` hooks: the spec's queue
+    factory picks the port discipline, its installer attaches switch
+    agents.  ``protocol_params`` is the typed per-protocol parameter
+    object (an instance of ``spec.params_cls``); the older
+    ``tfc_params``/``ecn_threshold_bytes`` keywords still work and map
+    onto the same slot when the protocol matches.
+
     ``pfc_params`` (a :class:`repro.net.pfc.PfcParams`) forces a lossless
     fabric with explicit thresholds regardless of protocol — the
     pathology scenarios use it to pin tight XOFF/XON watermarks; without
     it the fabric is installed only for lossless protocols or when
     ``$REPRO_LOSSLESS`` asks for one (with buffer-scaled defaults).
     """
+    spec = get_protocol(protocol)
+    params = resolve_legacy_params(
+        spec,
+        params=protocol_params,
+        tfc_params=tfc_params,
+        pfc_params=pfc_params,
+        ecn_threshold_bytes=ecn_threshold_bytes,
+    )
     topo = builder(
         buffer_bytes=buffer_bytes,
-        queue_factory=queue_factory_for(
-            protocol, buffer_bytes, ecn_threshold_bytes
-        ),
+        queue_factory=spec.port_queue_factory(buffer_bytes, params),
         **builder_kwargs,
     )
-    configure_network(
-        topo.network,
-        protocol,
-        tfc_params or DEFAULT_PARAMS,
-        pfc_params=pfc_params,
-    )
+    spec.install(topo.network, params, pfc_params=pfc_params)
     # Env-selected telemetry ($REPRO_TELEMETRY / runner --telemetry)
     # attaches here — the one chokepoint every experiment cell, chaos
     # scenario and perf workload builds through.  One dict lookup when off.

@@ -35,7 +35,14 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from ..config import ROUTING_NAMES, SCHEDULER_NAMES, SimConfig
 from ..config import telemetry_dir as _configured_telemetry_dir
 from ..obs import drain_pending as _drain_telemetry
-from .common import ALL_PROTOCOLS, ExperimentResult, derive_cell_seed, format_table
+from .baselines import run_baselines_cell
+from .common import (
+    ALL_PROTOCOLS,
+    BASELINE_PROTOCOLS,
+    ExperimentResult,
+    derive_cell_seed,
+    format_table,
+)
 from .ecmp_collision import run_collision_cell
 from .fig06_rttb import run_fig06_cell
 from .fig07_ne import run_fig07_cell
@@ -64,6 +71,7 @@ FIGURE_CELLS: Dict[str, CellFn] = {
     "fig12": run_incast_cell,
     "fig13": run_benchmark_cell,
     "fig14": run_rho_cell,
+    "baselines": run_baselines_cell,
     "ecmp": run_collision_cell,
     "mpath": run_multipath_cell,
     "pfc": run_pathology_cell,
@@ -540,6 +548,20 @@ def default_plan(
                         {"rho0": rho0, "duration_s": 0.2 if quick else 1.0},
                     )
                 )
+        elif figure == "baselines":
+            # Related-work head-to-head: every registered baseline under
+            # the same contended dumbbell (fairness/FCT/queue table).
+            for protocol in BASELINE_PROTOCOLS:
+                specs.append(
+                    CellSpec(
+                        "baselines",
+                        {
+                            "protocol": protocol,
+                            "n_senders": 4 if quick else 8,
+                            "flow_bytes": 250_000 if quick else 2_000_000,
+                        },
+                    )
+                )
         elif figure == "ecmp":
             # Collision study: every protocol under every policy, so both
             # the collision case (ecmp) and its cures (flowlet, spray)
@@ -666,10 +688,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--scenario-transports",
         nargs="+",
-        choices=ALL_PROTOCOLS,
+        metavar="PROTOCOL",
         default=None,
         help="override every tenant's transport, one cell per scenario "
-        "x transport (the fairness head-to-head axis)",
+        "x transport (the fairness head-to-head axis); any registered "
+        "protocol name is accepted — see repro.transport.registry",
     )
     parser.add_argument(
         "--list-figures",
@@ -784,6 +807,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "--scenario-seeds/--scenario-transports need --scenario or "
             "--scenario-glob"
         )
+    if args.scenario_transports:
+        # Validate against the live registry (not a frozen choices= list)
+        # so protocols registered via register_protocol sweep too.
+        from ..transport.registry import get_protocol
+
+        for name in args.scenario_transports:
+            try:
+                get_protocol(name)
+            except ValueError as exc:
+                parser.error(str(exc))
     figures = args.figures or ([] if scenario_names else ["fig13"])
     specs = default_plan(figures, quick=args.quick)
     specs.extend(

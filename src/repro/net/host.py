@@ -52,6 +52,10 @@ class Host(Endpoint):
         self.paused = False
         self._paused_rx: List[Packet] = []
         self.pauses = 0
+        # Set by installers that attach NIC agents (repro.net.bfc); the
+        # per-packet agent probe in handle_packet is gated on it so the
+        # common no-agent datapath pays one boolean check.
+        self.nic_agents_installed = False
 
     # ------------------------------------------------------------------
     # Socket-table management
@@ -117,6 +121,13 @@ class Host(Endpoint):
         self.ports[0].send(packet)
 
     def handle_packet(self, packet: Packet, in_port_index: int) -> None:
+        # NIC agent hook, mirroring the switch datapath: a protocol may
+        # attach per-NIC logic (BFC's per-flow pause handling) that
+        # consumes control frames before demux.
+        if self.nic_agents_installed:
+            agent = self.ports[in_port_index].agent
+            if agent is not None and agent.on_reverse_arrival(packet):
+                return
         op = packet.pfc_op
         if op is not None:
             # MAC-control pause frame: consumed by the NIC itself.  Only

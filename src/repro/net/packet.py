@@ -60,6 +60,11 @@ class Packet:
     pfc_class: int = 0
     priority: int = 0
 
+    # BFC per-flow pause fields, same pattern: only BfcFrame
+    # (repro.net.bfc) shadows these with real slots.
+    bfc_op: Optional[str] = None
+    bfc_key: Optional[FlowKey] = None
+
     def __init__(
         self,
         src: int,

@@ -260,6 +260,19 @@ class Port:
         if not self._busy:
             self._start_next()
 
+    def kick(self) -> None:
+        """Restart service if the port sits idle with work newly eligible.
+
+        Queue disciplines that can hold back queued packets (per-flow
+        pause in :class:`repro.net.bfc.BfcQueue`) leave the port idle
+        when ``dequeue`` returns None with bytes still buffered; whoever
+        makes a packet eligible again (a per-flow XON) must kick.  A
+        no-op while transmitting or paused — identical to the send-path
+        idle check, so it can never double-start service.
+        """
+        if not self._busy and not self.paused:
+            self._start_next()
+
     def _start_next(self) -> None:
         if self.paused:
             self._busy = False

@@ -33,6 +33,7 @@ from ..net.port import Port
 from ..net.topology import Topology
 from ..obs.session import install as install_telemetry
 from ..sim.units import MILLISECOND
+from ..transport.registry import get_protocol
 from ..workloads.collective import AllReduceWorkload
 from ..workloads.empirical import BenchmarkWorkload
 from ..workloads.incast import IncastCoordinator
@@ -257,7 +258,7 @@ def run_scenario(
         session = getattr(network, "telemetry", None)
 
         monitor = None
-        if fabric == "tfc":
+        if get_protocol(fabric).monitor_invariants:
             monitor = InvariantMonitor(
                 network,
                 raise_on_violation=False,

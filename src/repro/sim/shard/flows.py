@@ -54,8 +54,11 @@ def open_shard_flow(
     if owns_src:
         sender_kwargs = dict(common)
         if weight is not None:
-            if not spec.needs_tfc_switches:
-                raise ValueError("weighted allocation is a TFC feature")
+            if not spec.supports_weight:
+                raise ValueError(
+                    "weighted allocation is a TFC feature "
+                    f"({spec.name!r} does not support flow weights)"
+                )
             sender_kwargs["weight"] = weight
         sender = spec.sender_cls(
             src,

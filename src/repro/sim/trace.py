@@ -93,4 +93,6 @@ FAULT_CLEARED = "fault.cleared"
 INVARIANT_VIOLATION = "fault.invariant_violation"
 PFC_PAUSE = "pfc.pause"
 PFC_RESUME = "pfc.resume"
+BFC_PAUSE = "bfc.pause"
+BFC_RESUME = "bfc.resume"
 PATHOLOGY_DETECTED = "fault.pathology"

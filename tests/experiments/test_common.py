@@ -6,6 +6,7 @@ from repro.core.params import TfcParams
 from repro.core.switch_agent import TfcPortAgent
 from repro.experiments.common import (
     ALL_PROTOCOLS,
+    BASELINE_PROTOCOLS,
     PROTOCOL_LABELS,
     build_topology,
     format_rate,
@@ -17,9 +18,13 @@ from repro.net.topology import dumbbell
 
 def test_protocol_labels_cover_all():
     assert set(ALL_PROTOCOLS) == {"tfc", "dctcp", "tcp"}
-    # Labels cover the default sweep set plus the lossless baseline the
-    # pathology head-to-head adds ("pfc" = TCP over a PFC fabric).
-    assert set(PROTOCOL_LABELS) == set(ALL_PROTOCOLS) | {"pfc"}
+    assert set(BASELINE_PROTOCOLS) == set(ALL_PROTOCOLS) | {
+        "pfc", "bfc", "tbtcp", "tracks", "fairq",
+    }
+    # PROTOCOL_LABELS is a live view of the registry, so it covers the
+    # full baseline grid (and any protocol registered at runtime).
+    assert set(BASELINE_PROTOCOLS) <= set(PROTOCOL_LABELS)
+    assert PROTOCOL_LABELS["bfc"] == "TCP+BFC"
 
 
 def _unwrap_lossless(agent):

@@ -9,12 +9,12 @@ def test_version():
 
 def test_quickstart_from_package_docstring():
     """The exact snippet in repro.__doc__ must run."""
+    from repro.experiments.common import build_topology
     from repro.net import dumbbell
-    from repro.transport import configure_network, open_flow
+    from repro.transport import open_flow
     from repro.sim.units import seconds
 
-    topo = dumbbell(n_senders=4)
-    configure_network(topo.network, "tfc")
+    topo = build_topology(dumbbell, "tfc", buffer_bytes=256_000, n_senders=4)
     flows = [open_flow(h, topo.hosts[-1], "tfc") for h in topo.hosts[:4]]
     topo.network.run_for(seconds(0.05))
     assert sum(f.stats.bytes_acked for f in flows) > 0
@@ -39,6 +39,8 @@ def test_top_level_namespaces():
     assert net.FaultyQueue and net.GilbertElliottLoss
     assert sim.Simulator
     assert transport.open_flow and transport.PROTOCOLS is not None
+    assert callable(transport.register_protocol)
+    assert callable(transport.registered_protocols)
     assert workloads.IncastCoordinator
     assert metrics.FctCollector
     assert experiments.run_fig12
@@ -139,12 +141,17 @@ def test_observability_quickstart_from_package_docstring(tmp_path):
 
 
 def test_protocol_registry_contents():
-    from repro.transport import get_protocol
+    from repro.transport import get_protocol, registered_protocols
 
-    for name in ("tcp", "dctcp", "tfc"):
+    for name in (
+        "tcp", "dctcp", "tfc", "pfc", "bfc", "tbtcp", "tracks", "fairq",
+    ):
         spec = get_protocol(name)
         assert spec.name == name
+        assert name in registered_protocols()
     import pytest
 
-    with pytest.raises(ValueError):
+    with pytest.raises(ValueError) as excinfo:
         get_protocol("quic")
+    # The error names the live registry, not a frozen list.
+    assert "bfc" in str(excinfo.value) and "tfc" in str(excinfo.value)

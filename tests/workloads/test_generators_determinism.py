@@ -172,3 +172,38 @@ def test_identical_across_scheduler_backends(name, scheduler):
         baseline = _drive(build)
     with env(scheduler=scheduler):
         assert _drive(build) == baseline
+
+
+# ----------------------------------------------------------------------
+# Transport-parametrized fingerprints: every registered baseline drives
+# the empirical workload to the same bit-identical contract as tfc.
+# ----------------------------------------------------------------------
+NEW_TRANSPORTS = ("bfc", "tbtcp", "tracks", "fairq")
+
+
+def _drive_protocol(protocol):
+    """The empirical workload on a testbed running ``protocol``."""
+    collector = FctCollector()
+    topo = build_topology(build_testbed, protocol, 256_000, seed=3)
+    BenchmarkWorkload(
+        topo.hosts, protocol, DURATION,
+        query_rate_per_s=3000.0, query_fanin=4,
+        short_rate_per_s=800.0, background_rate_per_s=400.0,
+        seed_name="det", collector=collector, tenant="t",
+    )
+    topo.network.run_for(RUN_FOR)
+    return fingerprint(topo.network, collector)
+
+
+@pytest.mark.parametrize("protocol", NEW_TRANSPORTS)
+def test_transports_same_seed_same_schedule(protocol):
+    assert _drive_protocol(protocol) == _drive_protocol(protocol)
+
+
+@pytest.mark.parametrize("protocol", NEW_TRANSPORTS)
+@pytest.mark.parametrize("scheduler", SCHEDULER_NAMES)
+def test_transports_identical_across_scheduler_backends(protocol, scheduler):
+    with env(scheduler="heap"):
+        baseline = _drive_protocol(protocol)
+    with env(scheduler=scheduler):
+        assert _drive_protocol(protocol) == baseline
